@@ -1,0 +1,34 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper table/figure (scaled down for CI) and
+prints paper-vs-measured rows. Absolute numbers come from a simulated
+substrate; the *shape* (who wins, by roughly what factor) is the target.
+"""
+
+import pytest
+
+
+def report(title: str, result: dict, keys=None) -> None:
+    """Print a paper-vs-measured table for a result dict."""
+    paper = result.get("paper", {})
+    measured = result.get("measured", {})
+    print(f"\n=== {title} ===")
+    for key in keys or paper:
+        pv = paper.get(key, "-")
+        mv = measured.get(key, "-")
+        if isinstance(pv, float):
+            pv = round(pv, 3)
+        if isinstance(mv, float):
+            mv = round(mv, 3)
+        print(f"  {key:<40s} paper={pv!s:>14s}  measured={mv!s:>14s}")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (experiments are heavy)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1)
+
+    return runner

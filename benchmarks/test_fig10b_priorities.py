@@ -1,0 +1,22 @@
+"""Fig 10(b): MCDM preference vectors pick matching front solutions."""
+
+from repro.experiments import fig10b_priorities
+
+from conftest import report
+
+
+def test_fig10b_priorities(once):
+    result = once(fig10b_priorities)
+    report("Fig 10b: JCT/balanced/fidelity priorities", result)
+    picks = result["measured"]["picks"]
+    for pref, vals in picks.items():
+        print(f"  {pref:<9s} mean_jct={vals['mean_jct']:.0f}s "
+              f"mean_fid={vals['mean_fidelity']:.3f}")
+    # Orderings must match the paper: JCT priority minimizes JCT,
+    # fidelity priority maximizes fidelity, balanced sits between.
+    assert picks["jct"]["mean_jct"] <= picks["balanced"]["mean_jct"]
+    assert picks["balanced"]["mean_jct"] <= picks["fidelity"]["mean_jct"]
+    assert picks["fidelity"]["mean_fidelity"] >= picks["balanced"]["mean_fidelity"]
+    assert picks["balanced"]["mean_fidelity"] >= picks["jct"]["mean_fidelity"]
+    m = result["measured"]
+    assert m["jct_priority_saving_pct"] > 10.0  # paper: 67 %

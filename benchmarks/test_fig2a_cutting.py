@@ -1,0 +1,23 @@
+"""Fig 2(a): circuit cutting's fidelity and runtime impact."""
+
+from repro.experiments import fig2a_circuit_cutting
+
+from conftest import report
+
+
+def test_fig2a_circuit_cutting(once):
+    result = once(fig2a_circuit_cutting)
+    report(
+        "Fig 2a: circuit cutting (12q point; paper headline is 24q)",
+        result,
+        keys=["fidelity_gain_24q", "quantum_runtime_x_24q",
+              "classical_runtime_x_24q"],
+    )
+    m = result["measured"]
+    print(f"  measured@12q: fid {m['fid_uncut']:.3f} -> {m['fid_cut']:.3f} "
+          f"(gain x{m['fidelity_gain_x']:.2f}), quantum x{m['quantum_runtime_x']:.1f}, "
+          f"classical x{m['classical_runtime_x']:.1f}")
+    # Shape assertions: cutting improves fidelity and costs extra runtime.
+    assert m["fid_cut"] > m["fid_uncut"]
+    assert m["quantum_runtime_x"] > 2.0
+    assert m["classical_runtime_x"] > 1.0

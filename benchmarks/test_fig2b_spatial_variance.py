@@ -1,0 +1,14 @@
+"""Fig 2(b): spatial performance variance of GHZ-12 across QPUs."""
+
+from repro.experiments import fig2b_spatial_variance
+
+from conftest import report
+
+
+def test_fig2b_spatial_variance(once):
+    result = once(fig2b_spatial_variance)
+    report("Fig 2b: GHZ-12 fidelity across QPUs", result)
+    m = result["measured"]
+    assert m["best_qpu"] == "auckland"
+    assert m["best_over_worst_pct"] > 10.0  # paper: 38 %
+    assert m["auckland"] > m["algiers"]

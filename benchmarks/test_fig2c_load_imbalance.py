@@ -1,0 +1,13 @@
+"""Fig 2(c): QPU queue-size imbalance over a week."""
+
+from repro.experiments import fig2c_load_imbalance
+
+from conftest import report
+
+
+def test_fig2c_load_imbalance(once):
+    result = once(fig2c_load_imbalance)
+    report("Fig 2c: queue imbalance", result)
+    m = result["measured"]
+    print(f"  daily max/min queue ratios: {m['daily_ratios']}")
+    assert m["max_queue_ratio"] > 20.0  # paper: ~100x

@@ -1,0 +1,21 @@
+"""Fig 6: end-to-end Qonductor vs FCFS (fidelity, JCT, utilization)."""
+
+from repro.experiments import fig6_end_to_end
+
+from conftest import report
+
+
+def test_fig6_end_to_end(once):
+    result = once(fig6_end_to_end, scale=0.2)
+    report("Fig 6: end-to-end vs FCFS (scale=0.2 of the paper's hour)", result)
+    m = result["measured"]
+    print(f"  qonductor: {m['qonductor']}")
+    print(f"  fcfs:      {m['fcfs']}")
+    # Shape: Qonductor trades a small fidelity drop for lower JCT and
+    # higher utilization; gaps grow with simulation horizon.
+    assert m["jct_reduction_pct"] > 0.0
+    assert m["utilization_increase_pct"] > 0.0
+    assert m["fidelity_drop_pct"] < 12.0
+    # Load balance: Qonductor spreads work far more evenly than FCFS's
+    # best-device hotspotting (coefficient of variation of busy time).
+    assert m["qonductor"]["load_cv"] < m["fcfs"]["load_cv"]

@@ -1,0 +1,20 @@
+"""Fig 7(a): Pareto front of fidelity-runtime resource plans (QAOA-20)."""
+
+from repro.experiments import fig7a_resource_plans
+
+from conftest import report
+
+
+def test_fig7a_resource_plans(once):
+    result = once(fig7a_resource_plans)
+    report("Fig 7a: resource-plan Pareto front (20q QAOA max-cut)", result)
+    m = result["measured"]
+    for p in m["plans"]:
+        print(f"  plan {p['mitigation']:<18s} {p['tier']:<12s} "
+              f"fid={p['fidelity']:.3f} t={p['total_seconds']:.1f}s "
+              f"${p['cost_usd']:.0f}")
+    assert m["num_plans"] >= 2
+    # The front must offer a meaningful runtime saving for a small
+    # fidelity concession (paper: -34.6 % runtime for -3.6 % fidelity).
+    assert m["second_best_runtime_saving_pct"] > 5.0
+    assert m["second_best_fid_loss_pct"] < 15.0

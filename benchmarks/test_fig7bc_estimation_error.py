@@ -1,0 +1,27 @@
+"""Fig 7(b, c): estimation-error CDFs, regression vs numerical baseline."""
+
+import numpy as np
+
+from repro.experiments import fig7bc_estimation_error
+
+from conftest import report
+
+
+def test_fig7bc_estimation_error(once):
+    result = once(fig7bc_estimation_error, num_jobs=200)
+    report("Fig 7b/c: estimation error", result, keys=[
+        "fid_err_lt_0.1_frac", "runtime_err_lt_500ms_frac",
+    ])
+    m = result["measured"]
+    print(f"  fid err<0.1: regression={m['fid_err_lt_0.1_frac_regression']:.2f} "
+          f"numerical={m['fid_err_lt_0.1_frac_numerical']:.2f}")
+    print(f"  run err<0.5s: regression={m['runtime_err_lt_500ms_frac_regression']:.2f} "
+          f"numerical={m['runtime_err_lt_500ms_frac_numerical']:.2f}")
+    # Paper: ~75 % of fidelity estimates within 0.1; regression >= numerical.
+    assert m["fid_err_lt_0.1_frac_regression"] >= 0.70
+    assert m["regression_beats_numerical"]
+    assert (m["runtime_err_lt_500ms_frac_regression"]
+            > m["runtime_err_lt_500ms_frac_numerical"])
+    # CDFs are monotone by construction; check median ordering too.
+    cdf = result["cdf_data"]
+    assert np.median(cdf["run_err_regression"]) < np.median(cdf["run_err_numerical"])

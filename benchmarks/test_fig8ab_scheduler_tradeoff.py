@@ -1,0 +1,15 @@
+"""Fig 8(a, b): per-cycle Pareto front vs the chosen solution."""
+
+from repro.experiments import fig8ab_tradeoff
+
+from conftest import report
+
+
+def test_fig8ab_scheduler_tradeoff(once):
+    result = once(fig8ab_tradeoff, num_cycles=12)
+    report("Fig 8a/b: JCT & fidelity of scheduled jobs", result)
+    m = result["measured"]
+    # Chosen solutions sit well below the front's max JCT while giving up
+    # only a few percent of the front's max fidelity (paper: 34 % / 4 %).
+    assert m["jct_below_max_pct"] > 15.0
+    assert m["fid_below_max_pct"] < 10.0

@@ -1,0 +1,26 @@
+"""Fig 8(c): per-QPU load at 1500/3000/4500 jobs/hour."""
+
+from repro.experiments import fig8c_load_balance
+
+from conftest import report
+
+
+def test_fig8c_load_balance(once):
+    result = once(fig8c_load_balance, scale=0.2)
+    report("Fig 8c: QPU load balance", result)
+    for rate, info in result["measured"]["per_rate"].items():
+        print(f"  {rate} j/h: spread27q={info['load_spread_pct_27q']:.1f}% "
+              f"cv={info['load_cv']:.2f} used={info['qpus_used']}/8 "
+              f"loads={info['per_qpu_busy_seconds']}")
+    # Balance improves as load saturates the fleet: the spread across the
+    # six same-model 27q devices shrinks monotonically with offered load,
+    # and at the saturated point every QPU carries work. (The paper's
+    # fleet saturates at 1500 j/h; our service-time calibration saturates
+    # near 3x that, so the paper-comparable operating point is the top
+    # rate — see EXPERIMENTS.md.)
+    rates = result["measured"]["per_rate"]
+    ordered = [rates[r]["load_spread_pct_27q"] for r in sorted(rates)]
+    assert ordered[-1] < ordered[0]  # spread shrinks with load
+    assert ordered[-1] < 95.0
+    top = rates[max(rates)]
+    assert top["qpus_used"] == 8

@@ -1,0 +1,17 @@
+"""Fig 9(a): mean JCT vs quantum cluster size (4/8/16 QPUs)."""
+
+from repro.experiments import fig9a_cluster_scaling
+
+from conftest import report
+
+
+def test_fig9a_cluster_scaling(once):
+    result = once(fig9a_cluster_scaling, scale=0.1)
+    report("Fig 9a: JCT vs cluster size", result)
+    m = result["measured"]
+    print(f"  mean JCT by size: {m['mean_jct_by_size']}")
+    jcts = m["mean_jct_by_size"]
+    sizes = sorted(jcts)
+    # More QPUs -> lower JCT, monotonically (paper: -52.8 % and -81 %).
+    assert jcts[sizes[-1]] < jcts[sizes[0]]
+    assert m["improvement_4_to_16_pct"] > m["improvement_4_to_8_pct"] > 0.0

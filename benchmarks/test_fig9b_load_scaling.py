@@ -1,0 +1,15 @@
+"""Fig 9(b): scheduler queue stability up to 3x the IBM load."""
+
+from repro.experiments import fig9b_load_scaling
+
+from conftest import report
+
+
+def test_fig9b_load_scaling(once):
+    result = once(fig9b_load_scaling, scale=0.1)
+    report("Fig 9b: queue stability vs load", result)
+    for rate, info in result["measured"]["per_rate"].items():
+        print(f"  {rate} j/h: max_queue={info['max_queue']} "
+              f"mean={info['mean_queue']:.1f} stable={info['stable']}")
+    # The scheduler must remain stable at 3x the baseline load.
+    assert result["measured"]["stable_up_to_rate"] >= 4500

@@ -1,0 +1,17 @@
+"""Fig 9(c): per-stage scheduler runtime vs cluster size."""
+
+from repro.experiments import fig9c_stage_runtimes
+
+from conftest import report
+
+
+def test_fig9c_stage_runtimes(once):
+    result = once(fig9c_stage_runtimes)
+    report("Fig 9c: stage runtimes vs cluster size", result)
+    for size, stages in result["measured"]["stage_seconds_by_size"].items():
+        print(f"  {size:>2d} QPUs: {stages}")
+    m = result["measured"]
+    # Paper: only pre-processing grows with fleet size; optimization and
+    # selection stay ~flat (the formulation is O(N) in jobs, not QPUs).
+    assert m["preprocess_grows"]
+    assert m["optimize_flat"]

@@ -1,0 +1,14 @@
+"""Table 1: IBM Cloud pricing model."""
+
+from repro.experiments import table1_pricing
+
+from conftest import report
+
+
+def test_table1_pricing(once):
+    result = once(table1_pricing)
+    report("Table 1: IBM Cloud pricing", result)
+    m = result["measured"]
+    assert 3000 <= m["qpu_per_hour"] <= 6000
+    assert m["qpu_vs_highend_orders_of_magnitude"] == 2
+    assert m["classical_trade_cheaper"]

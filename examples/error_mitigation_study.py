@@ -1,0 +1,70 @@
+"""Researcher scenario: compare error-mitigation stacks on a noisy device.
+
+Walks the paper's key idea #2 mechanistically: run a GHZ probe through
+progressively richer mitigation stacks on a trajectory-level noisy
+simulator and watch fidelity rise while quantum/classical overheads grow —
+then cut a clustered circuit in half (quasi-probability CZ cutting, paper
+refs [60, 89]) and knit the fragments back together.
+
+Run:  python examples/error_mitigation_study.py
+"""
+
+import numpy as np
+
+from repro.backends import default_fleet
+from repro.mitigation import MitigationStack, cut_circuit, knit
+from repro.simulation import (
+    NoisySimulator,
+    hellinger_fidelity,
+    ideal_probabilities,
+)
+from repro.simulation.statevector import simulate_statevector
+from repro.workloads import clustered_circuit, ghz_linear
+
+
+def mitigation_ladder() -> None:
+    qpu = default_fleet(seed=7, names=["algiers"])[0]  # the noisiest device
+    nm = qpu.noise_model
+    circuit = ghz_linear(5)
+    ideal = ideal_probabilities(circuit)
+    sim = NoisySimulator(nm, num_trajectories=80, seed=3)
+
+    print(f"GHZ-5 on {qpu.name} (quality factor "
+          f"{qpu.calibration.quality_factor:.2f}):")
+    print(f"{'stack':<18s} {'fidelity':>9s} {'circuits':>9s} {'shots x':>8s}")
+    for preset in ["none", "rem", "dd", "zne", "zne+rem", "dd+zne+rem"]:
+        stack = MitigationStack.preset(preset)
+        plan = stack.expand(circuit, nm)
+        probs = [sim.noisy_probabilities(inst) for inst in plan.instances]
+        mitigated = stack.post_process(plan, probs, nm, circuit.num_qubits)
+        fid = hellinger_fidelity(mitigated, ideal)
+        print(
+            f"{preset:<18s} {fid:>9.4f} {len(plan.instances):>9d} "
+            f"{stack.shot_overhead:>8.0f}"
+        )
+
+
+def cutting_demo() -> None:
+    print("\nCircuit knitting (exact CZ quasi-probability decomposition):")
+    circuit = clustered_circuit(
+        8, depth=3, num_clusters=2, bridge_gates=1, measure=False, seed=4
+    )
+    parts = circuit.metadata["clusters"]
+    plan = cut_circuit(circuit, parts[0], parts[1])
+    print(
+        f"  cut {len(plan.cuts)} bridge CZ(s) -> {plan.num_variants} signed "
+        f"fragment variants (gamma = {plan.gamma:.0f})"
+    )
+    probs_a = [np.abs(simulate_statevector(v)) ** 2 for v in plan.variants_a]
+    probs_b = [np.abs(simulate_statevector(v)) ** 2 for v in plan.variants_b]
+    knitted, seconds = knit(plan, probs_a, probs_b)
+    fid = hellinger_fidelity(knitted, ideal_probabilities(circuit))
+    print(f"  reconstruction fidelity vs uncut ideal: {fid:.6f} "
+          f"(knit took {seconds * 1e3:.1f} ms)")
+    print("  -> fragments of half the width can now run on smaller/less "
+          "noisy QPUs (Fig 2a's trade).")
+
+
+if __name__ == "__main__":
+    mitigation_ladder()
+    cutting_demo()

@@ -1,0 +1,58 @@
+"""Quickstart: deploy and invoke a hybrid workflow on Qonductor.
+
+Mirrors the paper's Listing 2: build an error-mitigated quantum workload,
+package it as a hybrid workflow image, deploy it, poll, and fetch results —
+all through the four-call Qonductor API (Table 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Qonductor
+from repro.backends import default_fleet
+from repro.workloads import ghz_linear
+
+
+def main() -> None:
+    # A small fleet keeps estimator training fast for the demo.
+    fleet = default_fleet(seed=7, names=["auckland", "hanoi", "lagos"])
+    print(f"Fleet: {[q.name for q in fleet]}")
+    qon = Qonductor(fleet, estimator_records=500, preference="balanced", seed=1)
+
+    # --- 1. compose a hybrid workflow: pre -> quantum -> post ------------
+    circuit = ghz_linear(8)
+    steps = [
+        qon.classical_step(name="zne-generation", seconds=0.5),
+        qon.quantum_step(circuit, name="ghz-8", shots=4000, mitigation="zne+rem"),
+        qon.classical_step(name="zne-inference", seconds=1.0),
+    ]
+
+    # --- 2. ask the resource estimator for plans first (Fig 4) -----------
+    print("\nResource plans (fidelity vs runtime vs $):")
+    for plan in qon.estimate_resources(circuit, shots=4000, num_plans=3):
+        print(
+            f"  {plan.mitigation:<14s} fid~{plan.est_fidelity:.3f} "
+            f"t~{plan.est_total_seconds:.1f}s  ${plan.est_cost_usd:.0f}"
+        )
+
+    # --- 3. create / deploy / invoke / results (Table 2) ------------------
+    image_key = qon.create_workflow(steps, name="ghz-mitigated")
+    workflow_id = qon.invoke(image_key)
+    while qon.workflow_status(workflow_id) != "completed":
+        pass  # Listing 2's polling loop; execution here is synchronous
+    results = qon.workflow_results(workflow_id)
+
+    print(f"\nWorkflow {workflow_id} -> {results['status']}")
+    for step in results["steps"].values():
+        if step["kind"] == "quantum":
+            print(
+                f"  quantum step on {step['qpu']}: "
+                f"estimated fid {step['est_fidelity']:.3f}, "
+                f"realized fid {step['fidelity']:.3f}, "
+                f"{step['quantum_seconds']:.1f}s of QPU time"
+            )
+        else:
+            print(f"  classical step {step['name']!r} on {step['node']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""QPU models, calibration data with temporal drift, the synthetic fleet,
+and template QPUs for scalable estimation."""
+
+from .models import (
+    MODELS,
+    QPUModel,
+    falcon27_coupling,
+    get_model,
+    heavy_hex_like,
+)
+from .calibration import (
+    CalibrationData,
+    average_calibrations,
+    sample_calibration,
+)
+from .drift import OUDrift
+from .qpu import QPU
+from .fleet import FLEET_SPEC, default_fleet, fleet_of_size, make_fleet
+from .template import TemplateQPU, build_templates
+
+__all__ = [
+    "MODELS",
+    "QPUModel",
+    "falcon27_coupling",
+    "get_model",
+    "heavy_hex_like",
+    "CalibrationData",
+    "average_calibrations",
+    "sample_calibration",
+    "OUDrift",
+    "QPU",
+    "FLEET_SPEC",
+    "default_fleet",
+    "fleet_of_size",
+    "make_fleet",
+    "TemplateQPU",
+    "build_templates",
+]

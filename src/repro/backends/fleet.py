@@ -1,0 +1,85 @@
+"""The synthetic IBM-like QPU fleet.
+
+The paper's experiments use the freely available IBM devices of late 2023:
+eight QPUs spanning 7-, 16-, and 27-qubit Falcon models. We reproduce that
+fleet with per-device intrinsic quality factors tuned so a 12-qubit GHZ
+probe lands near the Fig. 2(b) fidelities (auckland ~0.72 best, algiers
+~0.52 worst, ~38 % spread).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .models import MODELS, QPUModel, get_model, heavy_hex_like
+from .qpu import QPU
+
+__all__ = ["default_fleet", "make_fleet", "FLEET_SPEC", "fleet_of_size"]
+
+#: (name, model, intrinsic quality factor). Lower quality factor = better.
+FLEET_SPEC: list[tuple[str, str, float]] = [
+    ("auckland", "falcon_r5_27", 0.62),
+    ("hanoi", "falcon_r5_27", 0.80),
+    ("cairo", "falcon_r5_27", 0.95),
+    ("kolkata", "falcon_r5_27", 1.15),
+    ("mumbai", "falcon_r5_27", 1.15),
+    ("algiers", "falcon_r5_27", 1.35),
+    ("guadalupe", "falcon_r5_16", 1.00),
+    ("lagos", "falcon_r5_7", 0.85),
+    ("nairobi", "falcon_r5_7", 1.10),
+]
+
+
+def default_fleet(seed: int = 7, *, names: list[str] | None = None) -> list[QPU]:
+    """Instantiate the named default fleet (8-9 devices).
+
+    ``names`` filters to a subset, preserving FLEET_SPEC order.
+    """
+    rng = np.random.default_rng(seed)
+    fleet = []
+    for name, model_name, quality in FLEET_SPEC:
+        if names is not None and name not in names:
+            continue
+        fleet.append(
+            QPU(
+                name,
+                get_model(model_name),
+                quality=quality,
+                seed=int(rng.integers(2**31)),
+            )
+        )
+    return fleet
+
+
+def make_fleet(
+    spec: list[tuple[str, str, float]], seed: int = 7
+) -> list[QPU]:
+    """Instantiate a fleet from an explicit (name, model, quality) spec."""
+    rng = np.random.default_rng(seed)
+    return [
+        QPU(name, get_model(model), quality=q, seed=int(rng.integers(2**31)))
+        for name, model, q in spec
+    ]
+
+
+def fleet_of_size(num_qpus: int, seed: int = 7) -> list[QPU]:
+    """A scalability fleet of ``num_qpus`` 27-qubit devices (Fig. 9a/c).
+
+    Quality factors are spread log-uniformly over [0.6, 1.4] so the fleet
+    always contains both hot and cold devices regardless of size.
+    """
+    if num_qpus < 1:
+        raise ValueError("need at least one QPU")
+    rng = np.random.default_rng(seed)
+    qualities = np.exp(np.linspace(np.log(0.62), np.log(1.38), num_qpus))
+    fleet = []
+    for i in range(num_qpus):
+        fleet.append(
+            QPU(
+                f"qpu{i:02d}",
+                get_model("falcon_r5_27"),
+                quality=float(qualities[i]),
+                seed=int(rng.integers(2**31)),
+            )
+        )
+    return fleet

@@ -1,0 +1,71 @@
+"""Template QPUs (§6).
+
+A template QPU adopts the basis gate set and coupling map of a QPU *model*
+but carries the **average** calibration of all fleet devices of that model.
+The resource estimator transpiles against templates — one per model rather
+than one per device — which is what makes estimation scale with models
+(a handful) instead of devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulation.noise import NoiseModel
+from .calibration import CalibrationData, average_calibrations
+from .models import QPUModel, get_model
+from .qpu import QPU
+
+__all__ = ["TemplateQPU", "build_templates"]
+
+
+@dataclass
+class TemplateQPU:
+    """Model-average pseudo-device used for estimation."""
+
+    model: QPUModel
+    calibration: CalibrationData
+    member_names: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return f"template_{self.model.name}"
+
+    @property
+    def num_qubits(self) -> int:
+        return self.model.num_qubits
+
+    @property
+    def basis_gates(self) -> tuple[str, ...]:
+        return self.model.basis_gates
+
+    @property
+    def coupling(self) -> tuple[tuple[int, int], ...]:
+        return self.model.coupling
+
+    @property
+    def noise_model(self) -> NoiseModel:
+        return self.calibration.noise_model
+
+
+def build_templates(fleet: list[QPU]) -> dict[str, TemplateQPU]:
+    """Group ``fleet`` by model and average each group's calibration.
+
+    Returns ``{model_name: TemplateQPU}``. Call again after calibration
+    cycles to refresh the averages.
+    """
+    by_model: dict[str, list[QPU]] = {}
+    for qpu in fleet:
+        by_model.setdefault(qpu.model.name, []).append(qpu)
+    templates: dict[str, TemplateQPU] = {}
+    for model_name, members in by_model.items():
+        model = get_model(model_name)
+        avg = average_calibrations(
+            [m.calibration for m in members], f"template_{model_name}"
+        )
+        templates[model_name] = TemplateQPU(
+            model=model,
+            calibration=avg,
+            member_names=tuple(m.name for m in members),
+        )
+    return templates

@@ -1,0 +1,40 @@
+"""Quantum circuit intermediate representation.
+
+The circuit substrate the rest of the reproduction builds on: gates with
+unitary semantics, an ordered-op circuit container, DAG conversion, and
+structural metrics.
+"""
+
+from .gates import (
+    GATE_SPECS,
+    HARDWARE_BASIS,
+    PSEUDO_OPS,
+    Gate,
+    GateSpec,
+    gate_matrix,
+    inverse_gate,
+    is_parametric,
+    is_two_qubit,
+)
+from .circuit import Circuit
+from .dag import CircuitDAG, circuit_to_dag, dag_layers, dag_to_circuit
+from .metrics import CircuitMetrics, compute_metrics
+
+__all__ = [
+    "GATE_SPECS",
+    "HARDWARE_BASIS",
+    "PSEUDO_OPS",
+    "Gate",
+    "GateSpec",
+    "gate_matrix",
+    "inverse_gate",
+    "is_parametric",
+    "is_two_qubit",
+    "Circuit",
+    "CircuitDAG",
+    "circuit_to_dag",
+    "dag_layers",
+    "dag_to_circuit",
+    "CircuitMetrics",
+    "compute_metrics",
+]

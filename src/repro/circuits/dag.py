@@ -1,0 +1,106 @@
+"""Circuit DAG representation.
+
+Converts a :class:`~repro.circuits.circuit.Circuit` into a networkx DiGraph
+whose nodes are op indices and whose edges are wire dependencies. Used by the
+transpiler (layer extraction, commutation-free scheduling) and by the
+numerical fidelity baseline, which traverses the DAG multiplying error terms
+(the "state-of-the-art numerical approach" the paper compares against).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["circuit_to_dag", "dag_layers", "dag_to_circuit", "CircuitDAG"]
+
+
+class CircuitDAG:
+    """A thin wrapper around the dependency DiGraph of a circuit.
+
+    Node payload: ``graph.nodes[i]["gate"]`` is the :class:`Gate` at
+    topological position ``i`` of the original op list. Edges carry the
+    wire index that induces the dependency.
+    """
+
+    def __init__(self, graph: nx.DiGraph, num_qubits: int, name: str) -> None:
+        self.graph = graph
+        self.num_qubits = num_qubits
+        self.name = name
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def gate(self, node: int) -> Gate:
+        return self.graph.nodes[node]["gate"]
+
+    def topological_gates(self) -> list[Gate]:
+        return [self.gate(n) for n in nx.topological_sort(self.graph)]
+
+    def longest_path_length(self) -> int:
+        """Length (in ops) of the critical path, i.e. DAG depth."""
+        if len(self) == 0:
+            return 0
+        return nx.dag_longest_path_length(self.graph) + 1
+
+    def layers(self) -> list[list[Gate]]:
+        """Gates grouped into parallel front layers (ASAP schedule)."""
+        return dag_layers(self)
+
+
+def circuit_to_dag(circuit: Circuit) -> CircuitDAG:
+    """Build the wire-dependency DAG of ``circuit``.
+
+    Barriers create dependencies across every wire they span but are not
+    included as nodes themselves; they only order surrounding gates.
+    """
+    graph = nx.DiGraph()
+    last_on_wire: dict[int, int] = {}
+    # wire -> node indices a subsequent op on that wire must follow (set by
+    # barriers, which synchronize every spanned wire on the last op of each).
+    barrier_fence: dict[int, tuple[int, ...]] = {}
+    for idx, gate in enumerate(circuit.ops):
+        if gate.name == "barrier":
+            wires = gate.qubits if gate.qubits else tuple(range(circuit.num_qubits))
+            fence_nodes = tuple(
+                last_on_wire[w] for w in wires if w in last_on_wire
+            )
+            for w in wires:
+                barrier_fence[w] = fence_nodes
+            continue
+        graph.add_node(idx, gate=gate)
+        for w in gate.qubits:
+            pred = last_on_wire.get(w)
+            if pred is not None and pred != idx:
+                graph.add_edge(pred, idx, wire=w)
+            for fence in barrier_fence.pop(w, ()):
+                if fence != idx and fence != pred:
+                    graph.add_edge(fence, idx, wire=w)
+            last_on_wire[w] = idx
+    return CircuitDAG(graph, circuit.num_qubits, circuit.name)
+
+
+def dag_layers(dag: CircuitDAG) -> list[list[Gate]]:
+    """Partition DAG nodes into ASAP layers of mutually independent gates."""
+    graph = dag.graph
+    level: dict[int, int] = {}
+    for node in nx.topological_sort(graph):
+        preds = list(graph.predecessors(node))
+        level[node] = 1 + max((level[p] for p in preds), default=-1)
+    if not level:
+        return []
+    depth = max(level.values()) + 1
+    layers: list[list[Gate]] = [[] for _ in range(depth)]
+    for node, lv in sorted(level.items()):
+        layers[lv].append(dag.gate(node))
+    return layers
+
+
+def dag_to_circuit(dag: CircuitDAG) -> Circuit:
+    """Reassemble a circuit from a DAG in topological order."""
+    circ = Circuit(dag.num_qubits, dag.name)
+    for gate in dag.topological_gates():
+        circ.append(gate)
+    return circ

@@ -1,0 +1,88 @@
+"""Structural circuit metrics used as ML features and scheduling inputs.
+
+These are the features the paper's resource estimator trains on: width,
+depth, two-qubit gate count, shot count, plus a few extras (parallelism,
+critical-path gate composition) used by ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+from .circuit import Circuit
+from .dag import circuit_to_dag
+
+__all__ = ["CircuitMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Feature bundle describing one circuit."""
+
+    num_qubits: int
+    depth: int
+    two_qubit_depth: int
+    size: int
+    num_1q_gates: int
+    num_2q_gates: int
+    num_measurements: int
+    parallelism: float
+    #: Max degree of the 2q-interaction graph: 0 = no entanglement,
+    #: <= 2 = chain/ring (routes swap-free on a path), larger = needs swaps.
+    max_interaction_degree: int = 99
+
+    @property
+    def routing_class(self) -> str:
+        """Coarse routing difficulty: "linear" / "sparse" / "dense"."""
+        if self.max_interaction_degree <= 2:
+            return "linear"
+        if self.max_interaction_degree <= 4:
+            return "sparse"
+        return "dense"
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def feature_vector(self) -> list[float]:
+        """Ordered numeric features for regression models."""
+        return [
+            float(self.num_qubits),
+            float(self.depth),
+            float(self.num_2q_gates),
+            float(self.num_1q_gates),
+            float(self.two_qubit_depth),
+            float(min(self.max_interaction_degree, 8)),
+        ]
+
+
+def compute_metrics(circuit: Circuit) -> CircuitMetrics:
+    """Compute the standard metric bundle for ``circuit``."""
+    n_1q = sum(1 for g in circuit.ops if g.is_unitary and g.num_qubits == 1)
+    n_2q = circuit.two_qubit_gate_count()
+    depth = circuit.depth()
+    size = n_1q + n_2q
+    if depth > 0:
+        parallelism = size / depth
+    else:
+        parallelism = 0.0
+    degree: dict[int, int] = {}
+    seen_edges: set[tuple[int, int]] = set()
+    for g in circuit.ops:
+        if g.is_unitary and g.num_qubits == 2:
+            e = (min(g.qubits), max(g.qubits))
+            if e in seen_edges:
+                continue
+            seen_edges.add(e)
+            degree[e[0]] = degree.get(e[0], 0) + 1
+            degree[e[1]] = degree.get(e[1], 0) + 1
+    return CircuitMetrics(
+        num_qubits=circuit.num_qubits,
+        depth=depth,
+        two_qubit_depth=circuit.depth(two_qubit_only=True),
+        size=size,
+        num_1q_gates=n_1q,
+        num_2q_gates=n_2q,
+        num_measurements=circuit.num_measurements,
+        parallelism=parallelism,
+        max_interaction_degree=max(degree.values(), default=0),
+    )

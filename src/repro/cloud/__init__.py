@@ -1,0 +1,37 @@
+"""Cloud simulation substrate: jobs, the transpile proxy, the ground-truth
+execution model, simulated backends, load generation, and the simulator."""
+
+from .job import HybridApplication, JobStatus, QuantumJob
+from .proxy import ProxyEntry, TranspileProxy
+from .execution import (
+    MITIGATION_EFFECTS,
+    ExecutionModel,
+    ExecutionRecord,
+)
+from .backend_sim import SimulatedQPU
+from .loadgen import IBM_MEAN_RATE, IBM_RATE_BAND, LoadGenerator, diurnal_rate
+from .metrics import SimulationMetrics, TimeSeries
+from .simulator import CloudSimulator, SimulationConfig
+from .imbalance import QueueTrace, simulate_queue_imbalance
+
+__all__ = [
+    "HybridApplication",
+    "JobStatus",
+    "QuantumJob",
+    "ProxyEntry",
+    "TranspileProxy",
+    "MITIGATION_EFFECTS",
+    "ExecutionModel",
+    "ExecutionRecord",
+    "SimulatedQPU",
+    "IBM_MEAN_RATE",
+    "IBM_RATE_BAND",
+    "LoadGenerator",
+    "diurnal_rate",
+    "SimulationMetrics",
+    "TimeSeries",
+    "CloudSimulator",
+    "SimulationConfig",
+    "QueueTrace",
+    "simulate_queue_imbalance",
+]

@@ -1,0 +1,112 @@
+"""Job and hybrid-application records flowing through the cloud simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..circuits.circuit import Circuit
+from ..circuits.metrics import CircuitMetrics, compute_metrics
+
+__all__ = ["JobStatus", "QuantumJob", "HybridApplication"]
+
+_job_ids = itertools.count()
+_app_ids = itertools.count()
+
+
+class JobStatus(str, Enum):
+    PENDING = "pending"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class QuantumJob:
+    """One quantum execution request.
+
+    Carries the structural metrics needed by the estimator and scheduler;
+    the full circuit is optional (cloud-scale simulations drop it to keep
+    memory flat, small-scale experiments keep it for real simulation).
+    """
+
+    metrics: CircuitMetrics
+    shots: int
+    mitigation: str = "none"  # a preset name from STANDARD_STACKS
+    benchmark: str = "unknown"
+    circuit: Circuit | None = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    # Lifecycle (filled in by the simulator / job manager):
+    status: JobStatus = JobStatus.PENDING
+    arrival_time: float = 0.0
+    schedule_time: float | None = None
+    start_time: float | None = None
+    finish_time: float | None = None
+    assigned_qpu: str | None = None
+    fidelity: float | None = None
+    quantum_seconds: float | None = None
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: Circuit,
+        shots: int = 4000,
+        mitigation: str = "none",
+        *,
+        keep_circuit: bool = True,
+        benchmark: str | None = None,
+    ) -> "QuantumJob":
+        return cls(
+            metrics=compute_metrics(circuit),
+            shots=shots,
+            mitigation=mitigation,
+            benchmark=benchmark or circuit.metadata.get("benchmark", circuit.name),
+            circuit=circuit if keep_circuit else None,
+        )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.metrics.num_qubits
+
+    @property
+    def completion_time(self) -> float | None:
+        """JCT: arrival -> finish (paper's metric (1))."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival_time
+
+
+@dataclass
+class HybridApplication:
+    """A hybrid workflow instance: classical pre -> quantum -> classical post.
+
+    The classical stages model the error-mitigation generation/inference
+    steps of Fig. 1; their durations come from the execution model and run
+    on (abundant) classical workers, so their waiting time is ~0 (§8.3).
+    """
+
+    quantum_job: QuantumJob
+    pre_seconds: float = 0.0
+    post_seconds: float = 0.0
+    app_id: int = field(default_factory=lambda: next(_app_ids))
+    arrival_time: float = 0.0
+    finish_time: float | None = None
+
+    @property
+    def uses_mitigation(self) -> bool:
+        return self.quantum_job.mitigation != "none"
+
+    @property
+    def completion_time(self) -> float | None:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time

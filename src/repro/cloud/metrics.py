@@ -1,0 +1,64 @@
+"""Metrics collection for cloud simulations (§8.1's three metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TimeSeries", "SimulationMetrics"]
+
+
+@dataclass
+class TimeSeries:
+    """A (time, value) series with convenience accessors."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, t: float, v: float) -> None:
+        self.times.append(float(t))
+        self.values.append(float(v))
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.array(self.times), np.array(self.values)
+
+
+@dataclass
+class SimulationMetrics:
+    """Everything a cloud-simulation run reports."""
+
+    mean_fidelity: TimeSeries = field(default_factory=TimeSeries)
+    mean_completion_time: TimeSeries = field(default_factory=TimeSeries)
+    mean_utilization: TimeSeries = field(default_factory=TimeSeries)
+    scheduler_queue_size: TimeSeries = field(default_factory=TimeSeries)
+    per_qpu_busy_seconds: dict[str, float] = field(default_factory=dict)
+    per_qpu_jobs: dict[str, int] = field(default_factory=dict)
+    completed_jobs: int = 0
+    unschedulable_jobs: int = 0
+    scheduling_cycles: int = 0
+
+    def summary(self) -> dict:
+        loads = list(self.per_qpu_busy_seconds.values())
+        load_spread = 0.0
+        load_cv = 0.0
+        if loads and max(loads) > 0:
+            load_spread = (max(loads) - min(loads)) / max(loads)
+            load_cv = float(np.std(loads) / max(1e-9, np.mean(loads)))
+        return {
+            "load_cv": load_cv,
+            "completed_jobs": self.completed_jobs,
+            "unschedulable_jobs": self.unschedulable_jobs,
+            "scheduling_cycles": self.scheduling_cycles,
+            "mean_fidelity": self.mean_fidelity.mean(),
+            "final_mean_jct": self.mean_completion_time.last(),
+            "mean_utilization": self.mean_utilization.mean(),
+            "max_load_spread": load_spread,
+            "per_qpu_busy_seconds": dict(self.per_qpu_busy_seconds),
+        }

@@ -1,0 +1,207 @@
+"""The quantum-cloud simulator (§8.2).
+
+Drives simulated time over a stream of hybrid applications: classical
+pre-processing starts immediately on (abundant) classical workers, quantum
+jobs enter the scheduler's pending queue, scheduling fires on the paper's
+queue/time triggers (Qonductor) or per-arrival (baselines), and assigned
+jobs execute on :class:`SimulatedQPU` backends with ground-truth outcomes.
+
+Metrics sampled over time: mean fidelity, mean end-to-end completion time,
+mean QPU utilization, and the scheduler's pending-queue size (Figs. 6, 8,
+9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backends.qpu import QPU
+from ..scheduler.triggers import SchedulingTrigger
+from .backend_sim import SimulatedQPU
+from .execution import ExecutionModel
+from .job import HybridApplication, JobStatus
+from .metrics import SimulationMetrics
+
+__all__ = ["CloudSimulator", "SimulationConfig"]
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of one simulation run."""
+
+    duration_seconds: float = 3600.0
+    sample_every_seconds: float = 120.0
+    recalibrate_every_seconds: float | None = None
+    seed: int = 0
+
+
+class CloudSimulator:
+    """Batched-trigger (Qonductor) or per-arrival (baseline) cloud sim."""
+
+    def __init__(
+        self,
+        fleet: list[QPU],
+        policy,
+        execution_model: ExecutionModel | None = None,
+        *,
+        trigger: SchedulingTrigger | None = None,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.backends = [SimulatedQPU(q) for q in fleet]
+        self.policy = policy
+        self.config = config or SimulationConfig()
+        self.execution_model = execution_model or ExecutionModel(
+            seed=self.config.seed
+        )
+        self.trigger = trigger or SchedulingTrigger()
+        # Batched policies expose .schedule() (the Qonductor scheduler);
+        # per-arrival baselines expose .assign().
+        self.is_batched = hasattr(policy, "schedule")
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def _waiting_map(self, now: float) -> dict[str, float]:
+        return {b.name: b.waiting_seconds(now) for b in self.backends}
+
+    def _dispatch(self, job, qpu_name: str, now: float, apps_by_job: dict) -> None:
+        backend = next(b for b in self.backends if b.name == qpu_name)
+        record = backend.execute(job, now, self.execution_model, self._rng)
+        app = apps_by_job.get(job.job_id)
+        if app is not None:
+            app.pre_seconds = record.classical_pre_seconds
+            app.post_seconds = record.classical_post_seconds
+            # Classical post-processing starts right after the quantum part;
+            # classical waiting is ~zero (thousands of workers available).
+            app.finish_time = job.finish_time + record.classical_post_seconds
+
+    def _schedule_batch(self, pending: list, now: float, metrics, apps_by_job) -> list:
+        """Run one Qonductor cycle; returns jobs still unschedulable."""
+        qpus = [b.qpu for b in self.backends]
+        schedule = self.policy.schedule(pending, qpus, self._waiting_map(now))
+        metrics.scheduling_cycles += 1
+        for dec in schedule.decisions:
+            dec.job.schedule_time = now
+            self._dispatch(dec.job, dec.qpu_name, now, apps_by_job)
+        metrics.unschedulable_jobs += len(schedule.unschedulable)
+        for job in schedule.unschedulable:
+            job.status = JobStatus.FAILED
+        return []
+
+    def _schedule_immediate(self, jobs: list, now: float, metrics, apps_by_job) -> None:
+        qpus = [b.qpu for b in self.backends]
+        for job, qpu_name in self.policy.assign(jobs, qpus, self._waiting_map(now)):
+            metrics.scheduling_cycles += 1
+            if qpu_name is None:
+                job.status = JobStatus.FAILED
+                metrics.unschedulable_jobs += 1
+                continue
+            job.schedule_time = now
+            self._dispatch(job, qpu_name, now, apps_by_job)
+
+    # ------------------------------------------------------------------
+    def run(self, apps: list[HybridApplication]) -> SimulationMetrics:
+        """Simulate the full application stream; returns collected metrics."""
+        cfg = self.config
+        metrics = SimulationMetrics()
+        apps = sorted(apps, key=lambda a: a.arrival_time)
+        apps_by_job = {a.quantum_job.job_id: a for a in apps}
+        pending: list = []
+        next_sample = cfg.sample_every_seconds
+        next_recal = (
+            cfg.recalibrate_every_seconds
+            if cfg.recalibrate_every_seconds
+            else float("inf")
+        )
+        idx = 0
+        now = 0.0
+        finished_fids: list[tuple[float, float]] = []  # (finish_time, fidelity)
+
+        def sample(t: float) -> None:
+            done = [
+                a
+                for a in apps[:idx]
+                if a.finish_time is not None and a.finish_time <= t
+            ]
+            if done:
+                metrics.mean_fidelity.add(
+                    t,
+                    float(
+                        np.mean(
+                            [
+                                a.quantum_job.fidelity
+                                for a in done
+                                if a.quantum_job.fidelity is not None
+                            ]
+                        )
+                    ),
+                )
+                metrics.mean_completion_time.add(
+                    t, float(np.mean([a.completion_time for a in done]))
+                )
+            busy = [
+                max(0.0, b.busy_seconds - max(0.0, b.free_at - t)) for b in self.backends
+            ]
+            metrics.mean_utilization.add(
+                t, float(np.mean([min(1.0, bu / max(t, 1e-9)) for bu in busy]))
+            )
+            metrics.scheduler_queue_size.add(t, len(pending))
+
+        while now < cfg.duration_seconds:
+            t_arrival = (
+                apps[idx].arrival_time if idx < len(apps) else float("inf")
+            )
+            t_trigger = (
+                self.trigger.next_deadline(now) if self.is_batched else float("inf")
+            )
+            t_next = min(t_arrival, t_trigger, next_sample, next_recal,
+                         cfg.duration_seconds)
+            now = t_next
+
+            if now >= cfg.duration_seconds:
+                break
+            if now == next_recal:
+                for b in self.backends:
+                    b.qpu.recalibrate(timestamp=now)
+                if hasattr(self.policy, "on_recalibration"):
+                    self.policy.on_recalibration([b.qpu for b in self.backends])
+                next_recal += cfg.recalibrate_every_seconds
+                continue
+            if now == next_sample:
+                sample(now)
+                next_sample += cfg.sample_every_seconds
+                continue
+            if now == t_arrival:
+                app = apps[idx]
+                idx += 1
+                job = app.quantum_job
+                job.status = JobStatus.QUEUED
+                if self.is_batched:
+                    pending.append(job)
+                    if self.trigger.should_fire(len(pending), now):
+                        pending = self._schedule_batch(
+                            pending, now, metrics, apps_by_job
+                        )
+                        self.trigger.fired(now)
+                else:
+                    self._schedule_immediate([job], now, metrics, apps_by_job)
+                continue
+            if self.is_batched and now == t_trigger:
+                if self.trigger.should_fire(len(pending), now):
+                    pending = self._schedule_batch(pending, now, metrics, apps_by_job)
+                self.trigger.fired(now)
+
+        # Final flush and bookkeeping.
+        if self.is_batched and pending:
+            pending = self._schedule_batch(
+                pending, cfg.duration_seconds, metrics, apps_by_job
+            )
+        sample(cfg.duration_seconds)
+        metrics.completed_jobs = sum(
+            1 for a in apps if a.quantum_job.status == JobStatus.COMPLETED
+        )
+        for b in self.backends:
+            metrics.per_qpu_busy_seconds[b.name] = b.busy_seconds
+            metrics.per_qpu_jobs[b.name] = b.jobs_executed
+        return metrics

@@ -1,0 +1,36 @@
+"""Hybrid resource estimation (§6): features, synthetic training data,
+regression models, numerical baseline, cost model, and plan generation."""
+
+from .features import (
+    FIDELITY_FEATURE_NAMES,
+    RUNTIME_FEATURE_NAMES,
+    fidelity_features,
+    mitigation_flags,
+    runtime_features,
+)
+from .dataset import EstimatorDataset, generate_dataset
+from .models import RegressionEstimator, TrainedEstimators, train_estimators
+from .numerical import NumericalEstimator
+from .cost import TABLE1_RATES, ResourceRates, plan_cost
+from .plans import ResourcePlan, generate_resource_plans
+from .estimator import ResourceEstimator
+
+__all__ = [
+    "FIDELITY_FEATURE_NAMES",
+    "RUNTIME_FEATURE_NAMES",
+    "fidelity_features",
+    "mitigation_flags",
+    "runtime_features",
+    "EstimatorDataset",
+    "generate_dataset",
+    "RegressionEstimator",
+    "TrainedEstimators",
+    "train_estimators",
+    "NumericalEstimator",
+    "TABLE1_RATES",
+    "ResourceRates",
+    "plan_cost",
+    "ResourcePlan",
+    "generate_resource_plans",
+    "ResourceEstimator",
+]

@@ -1,0 +1,84 @@
+"""The resource estimator facade (§6, Fig. 4).
+
+Bundles: trained regression models, template QPUs, and plan generation.
+This is the control-plane component the API server calls on workflow
+invocation (step 3 of the system workflow) and the scheduler queries for
+per-(job, QPU) estimates (step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends.qpu import QPU
+from ..backends.template import TemplateQPU, build_templates
+from ..circuits.metrics import CircuitMetrics
+from ..cloud.execution import ExecutionModel
+from ..cloud.job import QuantumJob
+from .dataset import generate_dataset
+from .models import TrainedEstimators, train_estimators
+from .plans import ResourcePlan, generate_resource_plans
+
+__all__ = ["ResourceEstimator"]
+
+
+@dataclass
+class ResourceEstimator:
+    """Trained estimator bound to a fleet's templates."""
+
+    estimators: TrainedEstimators
+    templates: dict[str, TemplateQPU]
+
+    @classmethod
+    def train_for_fleet(
+        cls,
+        fleet: list[QPU],
+        *,
+        num_records: int = 2000,
+        execution_model: ExecutionModel | None = None,
+        seed: int = 0,
+    ) -> "ResourceEstimator":
+        """End-to-end §6 pipeline: dataset -> CV model selection -> templates."""
+        dataset = generate_dataset(
+            fleet,
+            num_records=num_records,
+            execution_model=execution_model,
+            seed=seed,
+        )
+        trained = train_estimators(dataset, seed=seed)
+        return cls(estimators=trained, templates=build_templates(fleet))
+
+    def refresh_templates(self, fleet: list[QPU]) -> None:
+        """Re-average template calibrations (call after calibration cycles)."""
+        self.templates = build_templates(fleet)
+
+    # ------------------------------------------------------------------
+    def estimate_for_qpu(self, job: QuantumJob, qpu: QPU) -> tuple[float, float]:
+        """(fidelity, quantum_seconds) for ``job`` on a concrete device."""
+        fid = self.estimators.estimate_fidelity(
+            job.metrics, job.shots, job.mitigation, qpu.calibration
+        )
+        sec = self.estimators.estimate_runtime(
+            job.metrics, job.shots, job.mitigation, qpu.calibration
+        )
+        return fid, sec
+
+    def generate_plans(
+        self,
+        metrics: CircuitMetrics,
+        shots: int,
+        *,
+        num_plans: int = 3,
+        mitigations: list[str] | None = None,
+        min_fidelity: float = 0.0,
+    ) -> list[ResourcePlan]:
+        """Client-facing resource plans against the template QPUs."""
+        return generate_resource_plans(
+            metrics,
+            shots,
+            self.templates,
+            self.estimators,
+            num_plans=num_plans,
+            mitigations=mitigations,
+            min_fidelity=min_fidelity,
+        )

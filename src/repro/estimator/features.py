@@ -1,0 +1,123 @@
+"""Feature engineering for the fidelity/runtime regression models (§6).
+
+The paper's features: error-mitigation type, circuit width, shots, depth,
+two-qubit count — plus, for fidelity, the target QPU's topology/error rates.
+We encode exactly those from a job's :class:`CircuitMetrics`, its mitigation
+preset, and the target calibration snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..backends.calibration import CalibrationData
+from ..circuits.metrics import CircuitMetrics
+from ..mitigation.stack import STANDARD_STACKS
+
+__all__ = [
+    "FIDELITY_FEATURE_NAMES",
+    "RUNTIME_FEATURE_NAMES",
+    "fidelity_features",
+    "runtime_features",
+    "mitigation_flags",
+]
+
+_TECHNIQUES = ("dd", "twirling", "zne", "rem")
+
+FIDELITY_FEATURE_NAMES: tuple[str, ...] = (
+    "num_qubits",
+    "depth",
+    "num_2q_gates",
+    "num_1q_gates",
+    "two_qubit_depth",
+    "interaction_degree",
+    "log_shots",
+    "mit_dd",
+    "mit_twirling",
+    "mit_zne",
+    "mit_rem",
+    "qpu_error_2q",
+    "qpu_error_1q",
+    "qpu_readout_error",
+    "qpu_inv_t1",
+    "qpu_inv_t2",
+)
+
+RUNTIME_FEATURE_NAMES: tuple[str, ...] = (
+    "num_qubits",
+    "depth",
+    "num_2q_gates",
+    "two_qubit_depth",
+    "interaction_degree",
+    "shots_k",
+    "mit_dd",
+    "mit_twirling",
+    "mit_zne",
+    "mit_rem",
+    "qpu_duration_2q_ns",
+)
+
+
+def mitigation_flags(mitigation: str) -> list[float]:
+    """Binary indicators for each technique in the preset."""
+    techniques = STANDARD_STACKS.get(mitigation)
+    if techniques is None:
+        raise KeyError(f"unknown mitigation preset {mitigation!r}")
+    return [1.0 if t in techniques else 0.0 for t in _TECHNIQUES]
+
+
+def fidelity_features(
+    metrics: CircuitMetrics,
+    shots: int,
+    mitigation: str,
+    calibration: CalibrationData,
+) -> np.ndarray:
+    """Feature vector for the fidelity model."""
+    nm = calibration.noise_model
+    t1 = float(np.mean([q.t1_us for q in nm.qubits]))
+    t2 = float(np.mean([q.t2_us for q in nm.qubits]))
+    return np.array(
+        [
+            float(metrics.num_qubits),
+            float(metrics.depth),
+            float(metrics.num_2q_gates),
+            float(metrics.num_1q_gates),
+            float(metrics.two_qubit_depth),
+            float(min(metrics.max_interaction_degree, 8)),
+            math.log10(max(1, shots)),
+            *mitigation_flags(mitigation),
+            nm.mean_gate_error_2q() * 100.0,
+            nm.mean_gate_error_1q() * 1000.0,
+            nm.mean_readout_error() * 100.0,
+            100.0 / t1,
+            100.0 / t2,
+        ]
+    )
+
+
+def runtime_features(
+    metrics: CircuitMetrics,
+    shots: int,
+    mitigation: str,
+    calibration: CalibrationData,
+) -> np.ndarray:
+    """Feature vector for the quantum-execution-time model."""
+    nm = calibration.noise_model
+    if nm.gates_2q:
+        dur_2q = float(np.mean([g.duration_ns for g in nm.gates_2q.values()]))
+    else:
+        dur_2q = nm.default_2q.duration_ns
+    return np.array(
+        [
+            float(metrics.num_qubits),
+            float(metrics.depth),
+            float(metrics.num_2q_gates),
+            float(metrics.two_qubit_depth),
+            float(min(metrics.max_interaction_degree, 8)),
+            shots / 1000.0,
+            *mitigation_flags(mitigation),
+            dur_2q,
+        ]
+    )

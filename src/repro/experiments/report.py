@@ -1,0 +1,102 @@
+"""Run every experiment and print a paper-vs-measured report.
+
+``python -m repro.experiments.report [--scale S]`` regenerates the numbers
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .common import print_table
+from .fig2 import fig2a_circuit_cutting, fig2b_spatial_variance, fig2c_load_imbalance
+from .fig6 import fig6_end_to_end
+from .fig7 import fig7a_resource_plans, fig7bc_estimation_error
+from .fig8 import fig8ab_tradeoff, fig8c_load_balance
+from .fig9 import fig9a_cluster_scaling, fig9b_load_scaling, fig9c_stage_runtimes
+from .fig10 import fig10a_exec_time, fig10b_priorities
+from .table1 import table1_pricing
+
+__all__ = ["run_all"]
+
+
+def run_all(scale: float = 0.15, verbose: bool = True) -> dict:
+    """Execute every experiment; returns {experiment_id: result}."""
+    results = {}
+
+    results["table1"] = table1_pricing()
+    results["fig2a"] = fig2a_circuit_cutting()
+    results["fig2b"] = fig2b_spatial_variance()
+    results["fig2c"] = fig2c_load_imbalance()
+    results["fig6"] = fig6_end_to_end(scale=scale)
+    results["fig7a"] = fig7a_resource_plans()
+    results["fig7bc"] = fig7bc_estimation_error()
+    results["fig8ab"] = fig8ab_tradeoff()
+    results["fig8c"] = fig8c_load_balance(scale=scale)
+    results["fig9a"] = fig9a_cluster_scaling(scale=scale)
+    results["fig9b"] = fig9b_load_scaling(scale=scale)
+    results["fig9c"] = fig9c_stage_runtimes()
+    results["fig10a"] = fig10a_exec_time()
+    results["fig10b"] = fig10b_priorities()
+
+    if verbose:
+        from .ascii_plot import bar_chart, line_chart
+
+        for exp_id, res in results.items():
+            rows = []
+            paper = res.get("paper", {})
+            measured = res.get("measured", {})
+            for key in paper:
+                if key in measured:
+                    rows.append((key, paper[key], measured[key]))
+            print_table(exp_id, rows)
+        series = results["fig6"].get("series", {})
+        if series:
+            print()
+            print(line_chart(
+                {"qonductor": series["qonductor_jct"], "fcfs": series["fcfs_jct"]},
+                title="Fig 6b: mean completion time over simulated time [s]",
+            ))
+            print()
+            print(line_chart(
+                {"qonductor": series["qonductor_util"], "fcfs": series["fcfs_util"]},
+                title="Fig 6c: mean QPU utilization over simulated time",
+            ))
+        loads = (
+            results["fig8c"]["measured"]["per_rate"]
+            .get(1500, {})
+            .get("per_qpu_busy_seconds", {})
+        )
+        if loads:
+            print()
+            print(bar_chart(loads, title="Fig 8c: per-QPU busy seconds @1500 j/h"))
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--json", action="store_true", help="dump raw results")
+    args = parser.parse_args()
+    results = run_all(scale=args.scale)
+    if args.json:
+        def default(o):
+            import numpy as np
+
+            if isinstance(o, np.ndarray):
+                return o.tolist()
+            if isinstance(o, (np.floating, np.integer)):
+                return o.item()
+            return str(o)
+
+        print(json.dumps(
+            {k: {kk: vv for kk, vv in v.items() if kk not in ("series", "cdf_data")}
+             for k, v in results.items()},
+            indent=2,
+            default=default,
+        ))
+
+
+if __name__ == "__main__":
+    main()

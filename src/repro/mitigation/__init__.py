@@ -1,0 +1,62 @@
+"""Error-mitigation library: ZNE, REM, DD, Pauli twirling, PEC, and
+quasi-probability circuit knitting, plus stacked pipelines."""
+
+from .folding import fold_gates, fold_global, fold_to_factor
+from .extrapolation import (
+    ExpFactory,
+    LinearFactory,
+    PolyFactory,
+    RichardsonFactory,
+    get_factory,
+)
+from .zne import ZNE, zne_expand, zne_infer_probs, zne_infer_value
+from .rem import REM, mitigate_counts, mitigate_probs
+from .dd import DD, insert_dd
+from .twirling import CX_TWIRL_SET, pauli_twirl, twirl_ensemble
+from .pec import PEC, PECSample, pec_combine_probs, pec_gamma, pec_sample_circuits
+from .cutting import (
+    CZ_QPD_TERMS,
+    CutInstruction,
+    CutPlan,
+    cut_circuit,
+    knit,
+    sampling_overhead,
+)
+from .stack import STANDARD_STACKS, MitigationStack, StackPlan
+
+__all__ = [
+    "fold_gates",
+    "fold_global",
+    "fold_to_factor",
+    "ExpFactory",
+    "LinearFactory",
+    "PolyFactory",
+    "RichardsonFactory",
+    "get_factory",
+    "ZNE",
+    "zne_expand",
+    "zne_infer_probs",
+    "zne_infer_value",
+    "REM",
+    "mitigate_counts",
+    "mitigate_probs",
+    "DD",
+    "insert_dd",
+    "CX_TWIRL_SET",
+    "pauli_twirl",
+    "twirl_ensemble",
+    "PEC",
+    "PECSample",
+    "pec_combine_probs",
+    "pec_gamma",
+    "pec_sample_circuits",
+    "CZ_QPD_TERMS",
+    "CutInstruction",
+    "CutPlan",
+    "cut_circuit",
+    "knit",
+    "sampling_overhead",
+    "STANDARD_STACKS",
+    "MitigationStack",
+    "StackPlan",
+]

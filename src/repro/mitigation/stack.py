@@ -1,0 +1,161 @@
+"""Stacked mitigation pipelines (§6: "integrates complementary error
+mitigation techniques in a stacked manner").
+
+A :class:`MitigationStack` is an ordered recipe of techniques, e.g.
+``["dd", "twirling", "zne", "rem"]``. It exposes the three hooks the
+resource estimator and executor need:
+
+* :meth:`expand` — circuit -> list of circuit instances to execute
+  (ZNE noise scales x twirl ensemble x ... );
+* :meth:`post_process` — raw distributions -> one mitigated distribution;
+* overhead properties — quantum-shot and classical-runtime multipliers
+  that feed the resource-plan cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..simulation.noise import NoiseModel
+from .dd import DD
+from .rem import REM
+from .twirling import twirl_ensemble
+from .zne import ZNE
+
+__all__ = ["MitigationStack", "StackPlan", "STANDARD_STACKS"]
+
+#: Ready-made recipes, ordered from cheap to expensive. These are the
+#: "resource plan" knobs the estimator sweeps (§6, Fig. 7a).
+STANDARD_STACKS: dict[str, list[str]] = {
+    "none": [],
+    "rem": ["rem"],
+    "dd": ["dd"],
+    "dd+rem": ["dd", "rem"],
+    "twirl+rem": ["twirling", "rem"],
+    "zne": ["zne"],
+    "zne+rem": ["zne", "rem"],
+    "dd+zne+rem": ["dd", "zne", "rem"],
+    "dd+twirl+zne+rem": ["dd", "twirling", "zne", "rem"],
+}
+
+
+@dataclass
+class StackPlan:
+    """Expansion result: executable instances plus recombination metadata."""
+
+    instances: list[Circuit]
+    zne_factors: list[float] | None
+    twirl_group: int  # instances per ZNE factor (1 when twirling is off)
+
+
+@dataclass(frozen=True)
+class MitigationStack:
+    """An ordered error-mitigation recipe."""
+
+    techniques: tuple[str, ...] = ()
+    zne: ZNE = field(default_factory=ZNE)
+    dd: DD = field(default_factory=DD)
+    rem_method: str = "tensored"
+    twirl_instances: int = 4
+    seed: int = 0
+
+    @classmethod
+    def from_names(cls, names: list[str], **kwargs) -> "MitigationStack":
+        known = {"dd", "twirling", "zne", "rem"}
+        unknown = set(names) - known
+        if unknown:
+            raise ValueError(f"unknown mitigation techniques: {sorted(unknown)}")
+        return cls(techniques=tuple(names), **kwargs)
+
+    @classmethod
+    def preset(cls, name: str, **kwargs) -> "MitigationStack":
+        if name not in STANDARD_STACKS:
+            raise KeyError(f"unknown stack preset {name!r}")
+        return cls.from_names(STANDARD_STACKS[name], **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def uses(self) -> set[str]:
+        return set(self.techniques)
+
+    @property
+    def shot_overhead(self) -> float:
+        """Multiplier on quantum executions vs the bare circuit."""
+        overhead = 1.0
+        if "zne" in self.uses:
+            overhead *= len(self.zne.noise_factors)
+        if "twirling" in self.uses:
+            overhead *= self.twirl_instances
+        return overhead
+
+    @property
+    def gate_overhead(self) -> float:
+        """Mean gate-count multiplier of the expanded instances."""
+        return self.zne.gate_overhead if "zne" in self.uses else 1.0
+
+    @property
+    def classical_overhead(self) -> float:
+        """Relative classical post-processing cost (1 = negligible)."""
+        cost = 1.0
+        if "rem" in self.uses:
+            cost += 2.0 if self.rem_method == "tensored" else 6.0
+        if "zne" in self.uses:
+            cost += 1.0
+        if "twirling" in self.uses:
+            cost += 0.5 * self.twirl_instances
+        return cost
+
+    # ------------------------------------------------------------------
+    def expand(self, circuit: Circuit, noise_model: NoiseModel) -> StackPlan:
+        """Generate the executable instances for ``circuit``."""
+        base = circuit
+        if "dd" in self.uses:
+            base = self.dd.apply(base, noise_model)
+        if "zne" in self.uses:
+            scaled = self.zne.apply(base)
+            factors = list(self.zne.noise_factors)
+        else:
+            scaled = [base]
+            factors = None
+        if "twirling" in self.uses:
+            instances: list[Circuit] = []
+            for i, circ in enumerate(scaled):
+                instances.extend(
+                    twirl_ensemble(circ, self.twirl_instances, seed=self.seed + i)
+                )
+            group = self.twirl_instances
+        else:
+            instances = list(scaled)
+            group = 1
+        return StackPlan(instances=instances, zne_factors=factors, twirl_group=group)
+
+    def post_process(
+        self,
+        plan: StackPlan,
+        probs: list[np.ndarray],
+        noise_model: NoiseModel,
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Recombine executed distributions into the mitigated result."""
+        if len(probs) != len(plan.instances):
+            raise ValueError("result count does not match plan instances")
+        # 1. Average twirl groups.
+        if plan.twirl_group > 1:
+            grouped = [
+                np.mean(probs[i : i + plan.twirl_group], axis=0)
+                for i in range(0, len(probs), plan.twirl_group)
+            ]
+        else:
+            grouped = [np.asarray(p, dtype=float) for p in probs]
+        # 2. REM before extrapolation (readout errors are not amplified by
+        #    folding, so they must be removed before ZNE inference).
+        if "rem" in self.uses:
+            rem = REM(noise_model, self.rem_method)
+            grouped = [rem.mitigate_probs(p, num_qubits) for p in grouped]
+        # 3. ZNE inference.
+        if plan.zne_factors is not None:
+            return self.zne.inference_probs(grouped)
+        return grouped[0]

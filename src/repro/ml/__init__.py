@@ -1,0 +1,23 @@
+"""Minimal ML stack (scikit-learn substitute): linear/ridge regression,
+polynomial features, scaling, K-fold CV, regression metrics, pipelines."""
+
+from .linear import LinearRegression, Ridge
+from .features import PolynomialFeatures, StandardScaler
+from .metrics import mean_absolute_error, r2_score, root_mean_squared_error
+from .model_selection import KFold, cross_val_score, train_test_split
+from .pipeline import Pipeline, make_polynomial_regression
+
+__all__ = [
+    "LinearRegression",
+    "Ridge",
+    "PolynomialFeatures",
+    "StandardScaler",
+    "mean_absolute_error",
+    "r2_score",
+    "root_mean_squared_error",
+    "KFold",
+    "cross_val_score",
+    "train_test_split",
+    "Pipeline",
+    "make_polynomial_regression",
+]

@@ -1,0 +1,83 @@
+"""Feature maps: polynomial expansion and standardization."""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+__all__ = ["PolynomialFeatures", "StandardScaler"]
+
+
+class PolynomialFeatures:
+    """All monomials of the input features up to ``degree``.
+
+    Matches scikit-learn's ordering: bias (optional), then degree-1 terms,
+    then degree-2 combinations with replacement, etc.
+    """
+
+    def __init__(self, degree: int = 2, include_bias: bool = False) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.include_bias = include_bias
+        self._combos: list[tuple[int, ...]] | None = None
+
+    def fit(self, X, y=None) -> "PolynomialFeatures":
+        X = np.asarray(X, dtype=float)
+        n_features = X.shape[1]
+        combos: list[tuple[int, ...]] = []
+        if self.include_bias:
+            combos.append(())
+        for d in range(1, self.degree + 1):
+            combos.extend(combinations_with_replacement(range(n_features), d))
+        self._combos = combos
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self._combos is None:
+            raise RuntimeError("transformer is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.empty((X.shape[0], len(self._combos)))
+        for j, combo in enumerate(self._combos):
+            if not combo:
+                out[:, j] = 1.0
+            else:
+                col = X[:, combo[0]].copy()
+                for idx in combo[1:]:
+                    col *= X[:, idx]
+                out[:, j] = col
+        return out
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    @property
+    def n_output_features_(self) -> int:
+        if self._combos is None:
+            raise RuntimeError("transformer is not fitted")
+        return len(self._combos)
+
+
+class StandardScaler:
+    """Zero-mean unit-variance standardization (constant columns pass through)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,82 @@
+"""Linear models: ordinary least squares and ridge regression.
+
+Solved via ``scipy.linalg.lstsq`` / normal equations with Tikhonov
+regularization — the estimator's polynomial regression (paper §6) is a
+pipeline of :class:`~repro.ml.features.PolynomialFeatures` and one of
+these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["LinearRegression", "Ridge"]
+
+
+class LinearRegression:
+    """Ordinary least-squares ``y = X w + b``."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if self.fit_intercept:
+            A = np.hstack([X, np.ones((len(X), 1))])
+        else:
+            A = X
+        sol, *_ = linalg.lstsq(A, y, lapack_driver="gelsd")
+        if self.fit_intercept:
+            self.coef_ = sol[:-1]
+            self.intercept_ = float(sol[-1])
+        else:
+            self.coef_ = sol
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_ + self.intercept_
+
+
+class Ridge(LinearRegression):
+    """L2-regularized least squares (closed form via normal equations)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        super().__init__(fit_intercept=fit_intercept)
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "Ridge":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            Xc, yc = X, y
+        n_features = Xc.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        self.coef_ = linalg.solve(gram, Xc.T @ yc, assume_a="pos")
+        if self.fit_intercept:
+            self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        else:
+            self.intercept_ = 0.0
+        return self

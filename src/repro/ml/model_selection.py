@@ -1,0 +1,85 @@
+"""Model selection: K-fold cross-validation and train/test splitting.
+
+The paper trains and evaluates its estimators "through K-fold
+cross-validation, using the R^2 score as the primary evaluation metric".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .metrics import r2_score
+
+__all__ = ["KFold", "train_test_split", "cross_val_score"]
+
+
+class KFold:
+    """K consecutive (optionally shuffled) folds."""
+
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = True, seed: int | None = 0
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(indices)
+        sizes = np.full(self.n_splits, n_samples // self.n_splits)
+        sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+def train_test_split(
+    X, y, *, test_fraction: float = 0.2, seed: int | None = 0
+):
+    """Shuffled split into (X_train, X_test, y_train, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = len(X)
+    idx = np.arange(n)
+    np.random.default_rng(seed).shuffle(idx)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = idx[:n_test], idx[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def cross_val_score(
+    model_factory,
+    X,
+    y,
+    *,
+    n_splits: int = 5,
+    metric=r2_score,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Fit a fresh model per fold; returns the per-fold metric values.
+
+    ``model_factory`` is a zero-argument callable producing an unfitted
+    model with ``fit``/``predict`` (e.g. ``lambda: make_poly_pipeline(2)``).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    scores = []
+    for train, test in KFold(n_splits=n_splits, seed=seed).split(len(X)):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(metric(y[test], model.predict(X[test])))
+    return np.array(scores)

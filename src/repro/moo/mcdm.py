@@ -1,0 +1,73 @@
+"""Multiple-criteria decision making over a Pareto front (§7, Eq. 2).
+
+Pseudo-weights measure each solution's normalized distance to the worst
+value per objective; the selection stage picks the solution whose
+pseudo-weight vector is closest to the user's preference vector
+(fidelity-priority, JCT-priority, or balanced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pseudo_weights", "select_by_preference", "PREFERENCES"]
+
+#: Canonical preference vectors over (objective 0, objective 1). For the
+#: scheduler these are (JCT, error): "jct" prioritizes completion time,
+#: "fidelity" prioritizes quality, "balanced" weighs both equally.
+PREFERENCES: dict[str, tuple[float, float]] = {
+    "jct": (0.8, 0.2),
+    "balanced": (0.5, 0.5),
+    "fidelity": (0.2, 0.8),
+}
+
+
+def pseudo_weights(F: np.ndarray) -> np.ndarray:
+    """Pseudo-weight matrix (Eq. 2): row i = importance profile of solution i.
+
+    ``w[i, m] = (f_max[m] - F[i, m]) / (f_max[m] - f_min[m])``, normalized
+    per row. Degenerate objectives (constant over the front) contribute
+    equal weight.
+    """
+    F = np.asarray(F, dtype=float)
+    if F.ndim != 2:
+        raise ValueError("F must be (n_solutions, n_objectives)")
+    fmax = F.max(axis=0)
+    fmin = F.min(axis=0)
+    span = fmax - fmin
+    degenerate = span <= 1e-300
+    span = np.where(degenerate, 1.0, span)
+    w = (fmax - F) / span
+    w[:, degenerate] = 0.5
+    totals = w.sum(axis=1, keepdims=True)
+    # A solution that is worst on every objective has an all-zero row;
+    # give it uniform weights so each row remains a proper profile.
+    zero_rows = (totals <= 1e-300).reshape(-1)
+    w[zero_rows] = 1.0 / F.shape[1]
+    totals[zero_rows[:, None]] = 1.0
+    return w / totals
+
+
+def select_by_preference(
+    F: np.ndarray, preference: str | tuple[float, ...] = "balanced"
+) -> int:
+    """Index of the front solution whose pseudo-weights best match
+    ``preference`` (a name from :data:`PREFERENCES` or an explicit vector
+    summing to 1)."""
+    F = np.asarray(F, dtype=float)
+    if isinstance(preference, str):
+        if preference not in PREFERENCES:
+            raise KeyError(
+                f"unknown preference {preference!r}; options: {sorted(PREFERENCES)}"
+            )
+        pref = np.asarray(PREFERENCES[preference])
+    else:
+        pref = np.asarray(preference, dtype=float)
+    if pref.shape != (F.shape[1],):
+        raise ValueError(
+            f"preference length {pref.shape} does not match {F.shape[1]} objectives"
+        )
+    if abs(pref.sum() - 1.0) > 1e-6:
+        raise ValueError("preference vector must sum to 1")
+    w = pseudo_weights(F)
+    return int(np.argmin(np.linalg.norm(w - pref[None, :], axis=1)))

@@ -1,0 +1,137 @@
+"""NSGA-II (Deb et al. 2002) on integer genomes.
+
+The optimizer behind the Qonductor scheduler's optimization stage. All
+population-level operations are vectorized; one generation is
+select -> crossover -> mutate -> repair -> evaluate -> elitist truncation
+by (front rank, crowding distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .operators import (
+    exponential_crossover,
+    polynomial_mutation,
+    tournament_selection,
+)
+from .problem import Problem
+from .sorting import crowding_distance, fast_non_dominated_sort
+from .termination import Termination
+
+__all__ = ["NSGA2", "NSGA2Result"]
+
+
+@dataclass
+class NSGA2Result:
+    """Final population restricted to the first front."""
+
+    X: np.ndarray  # (n_front, n_var) decision vectors
+    F: np.ndarray  # (n_front, n_obj) objective values
+    generations: int
+    evaluations: int
+    reason: str
+    history: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_solutions(self) -> int:
+        return len(self.X)
+
+
+class NSGA2:
+    """Elitist non-dominated sorting GA with the paper's custom operators."""
+
+    def __init__(
+        self,
+        pop_size: int = 64,
+        *,
+        crossover_rate: float = 0.9,
+        mutation_eta: float = 12.0,
+        seed: int | None = None,
+        keep_history: bool = False,
+    ) -> None:
+        if pop_size < 4 or pop_size % 2:
+            raise ValueError("pop_size must be an even number >= 4")
+        self.pop_size = pop_size
+        self.crossover_rate = crossover_rate
+        self.mutation_eta = mutation_eta
+        self.keep_history = keep_history
+        self._rng = np.random.default_rng(seed)
+
+    def minimize(
+        self, problem: Problem, termination: Termination | None = None
+    ) -> NSGA2Result:
+        rng = self._rng
+        term = termination or Termination()
+        X = problem.sample(self.pop_size, rng)
+        F = problem.evaluate(X)
+        term.update(F)
+        history: list[np.ndarray] = []
+
+        rank, crowd = self._rank_and_crowd(F)
+        while not term.should_stop():
+            parents_idx = tournament_selection(rank, crowd, self.pop_size, rng)
+            pa = X[parents_idx[: self.pop_size // 2]]
+            pb = X[parents_idx[self.pop_size // 2 :]]
+            c1, c2 = exponential_crossover(
+                pa, pb, problem.lower, problem.upper, rng, rate=self.crossover_rate
+            )
+            children = np.vstack([c1, c2])
+            children = polynomial_mutation(
+                children, problem.lower, problem.upper, rng, eta=self.mutation_eta
+            )
+            children = problem.repair(children)
+            Fc = problem.evaluate(children)
+            term.update(Fc)
+
+            # Elitist environmental selection over parents + children.
+            X_all = np.vstack([X, children])
+            F_all = np.vstack([F, Fc])
+            X, F, rank, crowd = self._truncate(X_all, F_all)
+            if self.keep_history:
+                history.append(F[rank == 0].copy())
+
+        fronts = fast_non_dominated_sort(F)
+        first = fronts[0]
+        # Deduplicate identical objective vectors for a clean Pareto front.
+        _, unique_idx = np.unique(F[first], axis=0, return_index=True)
+        sel = first[np.sort(unique_idx)]
+        return NSGA2Result(
+            X=X[sel].copy(),
+            F=F[sel].copy(),
+            generations=term.generations,
+            evaluations=term.evaluations,
+            reason=term.reason or "unknown",
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _rank_and_crowd(self, F: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        fronts = fast_non_dominated_sort(F)
+        rank = np.empty(len(F), dtype=np.int64)
+        crowd = np.empty(len(F))
+        for r, front in enumerate(fronts):
+            rank[front] = r
+            crowd[front] = crowding_distance(F[front])
+        return rank, crowd
+
+    def _truncate(self, X: np.ndarray, F: np.ndarray):
+        fronts = fast_non_dominated_sort(F)
+        chosen: list[np.ndarray] = []
+        count = 0
+        for front in fronts:
+            if count + len(front) <= self.pop_size:
+                chosen.append(front)
+                count += len(front)
+            else:
+                crowd = crowding_distance(F[front])
+                order = np.argsort(-crowd, kind="stable")
+                chosen.append(front[order[: self.pop_size - count]])
+                count = self.pop_size
+                break
+        idx = np.concatenate(chosen)
+        Xs, Fs = X[idx], F[idx]
+        rank, crowd = self._rank_and_crowd(Fs)
+        return Xs, Fs, rank, crowd

@@ -1,0 +1,64 @@
+"""Non-dominated sorting and crowding distance (NSGA-II internals).
+
+Vectorized with NumPy: domination is computed as a pairwise boolean matrix
+(fine for the population sizes the scheduler uses), fronts are peeled
+iteratively, and crowding distances are per-objective sorted sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dominates_matrix", "fast_non_dominated_sort", "crowding_distance", "pareto_front_mask"]
+
+
+def dominates_matrix(F: np.ndarray) -> np.ndarray:
+    """``D[i, j]`` True iff individual i dominates j (all <=, any <)."""
+    less_eq = (F[:, None, :] <= F[None, :, :]).all(axis=2)
+    less = (F[:, None, :] < F[None, :, :]).any(axis=2)
+    return less_eq & less
+
+
+def fast_non_dominated_sort(F: np.ndarray) -> list[np.ndarray]:
+    """Partition indices into Pareto fronts (front 0 = non-dominated)."""
+    n = len(F)
+    if n == 0:
+        return []
+    dom = dominates_matrix(F)
+    n_dominators = dom.sum(axis=0)  # how many dominate each individual
+    fronts: list[np.ndarray] = []
+    remaining = np.ones(n, dtype=bool)
+    counts = n_dominators.astype(np.int64).copy()
+    while remaining.any():
+        current = np.where(remaining & (counts == 0))[0]
+        if len(current) == 0:  # numerical ties: flush the rest as one front
+            current = np.where(remaining)[0]
+        fronts.append(current)
+        remaining[current] = False
+        # Removing the current front decrements its dominatees' counters.
+        counts -= dom[current].sum(axis=0)
+    return fronts
+
+
+def pareto_front_mask(F: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows of ``F``."""
+    dom = dominates_matrix(F)
+    return ~dom.any(axis=0)
+
+
+def crowding_distance(F: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance within one front (larger = less crowded)."""
+    n, m = F.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    dist = np.zeros(n)
+    for j in range(m):
+        order = np.argsort(F[:, j], kind="stable")
+        fmin, fmax = F[order[0], j], F[order[-1], j]
+        dist[order[0]] = dist[order[-1]] = np.inf
+        span = fmax - fmin
+        if span <= 1e-300:
+            continue
+        gaps = (F[order[2:], j] - F[order[:-2], j]) / span
+        dist[order[1:-1]] += gaps
+    return dist

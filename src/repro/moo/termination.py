@@ -1,0 +1,63 @@
+"""Termination criteria (§7): generation/evaluation caps plus the paper's
+sliding-window tolerance — convergence is judged over a window of recent
+generations rather than only the latest one."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Termination"]
+
+
+class Termination:
+    """Composite stop condition for NSGA-II.
+
+    Stops when any of:
+    * ``max_generations`` reached,
+    * ``max_evaluations`` objective evaluations spent,
+    * the best (ideal-point) objective vector improved less than ``tol``
+      over a sliding window of ``window`` generations.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_generations: int = 60,
+        max_evaluations: int = 100_000,
+        tol: float = 1e-3,
+        window: int = 8,
+    ) -> None:
+        if max_generations < 1:
+            raise ValueError("max_generations must be >= 1")
+        self.max_generations = max_generations
+        self.max_evaluations = max_evaluations
+        self.tol = tol
+        self.window = window
+        self._ideal_history: deque[np.ndarray] = deque(maxlen=window)
+        self.generations = 0
+        self.evaluations = 0
+        self.reason: str | None = None
+
+    def update(self, F: np.ndarray) -> None:
+        """Record one generation's objective matrix."""
+        self.generations += 1
+        self.evaluations += len(F)
+        self._ideal_history.append(F.min(axis=0))
+
+    def should_stop(self) -> bool:
+        if self.generations >= self.max_generations:
+            self.reason = "max_generations"
+            return True
+        if self.evaluations >= self.max_evaluations:
+            self.reason = "max_evaluations"
+            return True
+        if len(self._ideal_history) == self._ideal_history.maxlen:
+            hist = np.stack(self._ideal_history)
+            span = hist.max(axis=0) - hist.min(axis=0)
+            scale = np.abs(hist).max(axis=0) + 1e-12
+            if np.all(span / scale < self.tol):
+                self.reason = "tolerance_window"
+                return True
+        return False

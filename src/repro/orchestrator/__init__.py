@@ -1,0 +1,39 @@
+"""Qonductor orchestrator: data plane (workflows, images, registry),
+control plane (API, job manager, monitor, Raft replicas), and workers."""
+
+from .workflow import HybridWorkflow, StepKind, WorkflowStep
+from .images import ExecutionConfig, HybridWorkflowImage, ResourceRequest
+from .registry import WorkflowRegistry
+from .monitor import SystemMonitor, WatchEvent
+from .membership import HeartbeatTracker
+from .raft import RaftCluster, RaftNode, Role
+from .workers import ClassicalWorker, DeviceManager, QuantumWorker
+from .job_manager import JobManager, WorkflowRun, WorkflowStatus
+from .codegen import build_workflow, classical_task, quantum_task
+from .api import Qonductor
+
+__all__ = [
+    "HybridWorkflow",
+    "StepKind",
+    "WorkflowStep",
+    "ExecutionConfig",
+    "HybridWorkflowImage",
+    "ResourceRequest",
+    "WorkflowRegistry",
+    "SystemMonitor",
+    "WatchEvent",
+    "HeartbeatTracker",
+    "RaftCluster",
+    "RaftNode",
+    "Role",
+    "ClassicalWorker",
+    "DeviceManager",
+    "QuantumWorker",
+    "JobManager",
+    "WorkflowRun",
+    "WorkflowStatus",
+    "Qonductor",
+    "build_workflow",
+    "classical_task",
+    "quantum_task",
+]

@@ -1,0 +1,203 @@
+"""The Qonductor API (§5, Table 2).
+
+The user-facing surface has exactly four operations — ``create_workflow``,
+``deploy``, ``invoke``, ``workflow_results`` (plus ``workflow_status`` for
+polling, as in Listing 2) — everything else (estimation, scheduling,
+placement) is delegated to the control plane.
+
+:class:`Qonductor` wires the whole system together: fleet + templates +
+trained estimator + hybrid scheduler + job manager + registry + monitor +
+fault-tolerant control-plane replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends.qpu import QPU
+from ..backends.fleet import default_fleet
+from ..cloud.backend_sim import SimulatedQPU
+from ..cloud.execution import ExecutionModel
+from ..estimator.estimator import ResourceEstimator
+from ..estimator.plans import ResourcePlan
+from ..scheduler.classical import ClassicalNode, ClassicalScheduler
+from ..scheduler.quantum import QonductorScheduler
+from ..circuits.metrics import compute_metrics
+from .images import ExecutionConfig, HybridWorkflowImage
+from .job_manager import JobManager, WorkflowRun, WorkflowStatus
+from .monitor import SystemMonitor
+from .raft import RaftCluster
+from .registry import WorkflowRegistry
+from .workers import ClassicalWorker, DeviceManager, QuantumWorker
+from .workflow import HybridWorkflow, StepKind, WorkflowStep
+
+__all__ = ["Qonductor"]
+
+_DEFAULT_CLASSICAL_NODES = [
+    ClassicalNode("vm-std-0", cores=16, memory_gb=64, tier="standard_vm"),
+    ClassicalNode("vm-std-1", cores=16, memory_gb=64, tier="standard_vm"),
+    ClassicalNode("vm-hi-0", cores=64, memory_gb=512, gpus=4, tier="highend_vm"),
+]
+
+
+@dataclass
+class _Deployment:
+    image: HybridWorkflowImage
+    workflow_id: int
+
+
+class Qonductor:
+    """An in-process Qonductor deployment over a (simulated) hybrid cluster."""
+
+    def __init__(
+        self,
+        fleet: list[QPU] | None = None,
+        classical_nodes: list[ClassicalNode] | None = None,
+        *,
+        estimator: ResourceEstimator | None = None,
+        execution_model: ExecutionModel | None = None,
+        preference: str = "balanced",
+        estimator_records: int = 800,
+        fault_tolerance_f: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.fleet = fleet if fleet is not None else default_fleet(seed=seed)
+        self.execution_model = execution_model or ExecutionModel(seed=seed)
+        self.estimator = estimator or ResourceEstimator.train_for_fleet(
+            self.fleet,
+            num_records=estimator_records,
+            execution_model=self.execution_model,
+            seed=seed,
+        )
+        self.monitor = SystemMonitor()
+        self.registry = WorkflowRegistry()
+        self.backends = [SimulatedQPU(q) for q in self.fleet]
+        nodes = classical_nodes or [
+            ClassicalNode(n.name, n.cores, n.memory_gb, n.gpus, n.tier)
+            for n in _DEFAULT_CLASSICAL_NODES
+        ]
+        self.classical_scheduler = ClassicalScheduler(nodes)
+        self.scheduler = QonductorScheduler(
+            self.estimator.estimate_for_qpu, preference=preference, seed=seed
+        )
+        self.job_manager = JobManager(
+            self.scheduler,
+            self.classical_scheduler,
+            self.backends,
+            self.execution_model,
+            self.monitor,
+            seed=seed,
+        )
+        self.device_manager = DeviceManager(
+            self.monitor,
+            [QuantumWorker(q) for q in self.fleet],
+            [ClassicalWorker(n) for n in nodes],
+        )
+        self.control_plane = RaftCluster(f=fault_tolerance_f, seed=seed)
+        self._runs: dict[int, WorkflowRun] = {}
+        self.device_manager.poll()
+
+    # ------------------------------------------------------------------
+    # Table 2: the four user-facing operations.
+    # ------------------------------------------------------------------
+    def create_workflow(
+        self,
+        steps_or_workflow,
+        config: dict | ExecutionConfig | None = None,
+        *,
+        name: str = "workflow",
+    ) -> str:
+        """Package steps (or a prebuilt DAG) + config into a registry image."""
+        if isinstance(steps_or_workflow, HybridWorkflow):
+            workflow = steps_or_workflow
+        else:
+            workflow = HybridWorkflow.linear(name, list(steps_or_workflow))
+        if config is None:
+            exec_config = ExecutionConfig()
+        elif isinstance(config, ExecutionConfig):
+            exec_config = config
+        else:
+            exec_config = ExecutionConfig.from_dict(config)
+        image = HybridWorkflowImage(workflow=workflow, config=exec_config)
+        key = self.registry.register(image)
+        self.monitor.put("images", key, {"image_id": image.image_id})
+        return key
+
+    def deploy(self, image_key: str) -> int:
+        """Validate an image against the cluster; returns a workflow ID."""
+        image = self.registry.get(image_key)
+        max_width = max(q.num_qubits for q in self.fleet)
+        for step in image.workflow.quantum_steps():
+            if step.circuit.num_qubits > max_width:
+                raise ValueError(
+                    f"step {step.name!r} needs {step.circuit.num_qubits} qubits; "
+                    f"largest QPU has {max_width}"
+                )
+        if image.config.min_qubits > max_width:
+            raise ValueError("config requests more qubits than any QPU offers")
+        run = WorkflowRun(workflow=image.workflow)
+        self._runs[run.run_id] = run
+        self.monitor.put("workflows", str(run.run_id), run.results)
+        return run.run_id
+
+    def invoke(self, image_key: str) -> int:
+        """Deploy + execute an image; returns the workflow ID."""
+        self.control_plane.ensure_leader()
+        workflow_id = self.deploy(image_key)
+        image = self.registry.get(image_key)
+        run = self.job_manager.run_workflow(image.workflow)
+        run.run_id = workflow_id  # keep the externally visible id
+        self._runs[workflow_id] = run
+        self.monitor.put("workflows", str(workflow_id), run.results)
+        self.control_plane.replicate(self.monitor.snapshot())
+        return workflow_id
+
+    def workflow_status(self, workflow_id: int) -> str:
+        run = self._runs.get(workflow_id)
+        if run is None:
+            raise KeyError(f"unknown workflow {workflow_id}")
+        return run.status.value
+
+    def workflow_results(self, workflow_id: int) -> dict:
+        run = self._runs.get(workflow_id)
+        if run is None:
+            raise KeyError(f"unknown workflow {workflow_id}")
+        return run.results
+
+    # ------------------------------------------------------------------
+    # Control-plane internals exposed for clients and experiments.
+    # ------------------------------------------------------------------
+    def list_images(self) -> list[str]:
+        return self.registry.list_images()
+
+    def estimate_resources(self, circuit, shots: int = 4000, **kwargs) -> list[ResourcePlan]:
+        """Table 2's "estimate the hybrid resources required"."""
+        return self.estimator.generate_plans(
+            compute_metrics(circuit), shots, **kwargs
+        )
+
+    def quantum_step(
+        self,
+        circuit,
+        *,
+        name: str = "quantum",
+        shots: int = 4000,
+        mitigation: str = "none",
+    ) -> WorkflowStep:
+        """Convenience constructor for a quantum step."""
+        return WorkflowStep(
+            name=name,
+            kind=StepKind.QUANTUM,
+            circuit=circuit,
+            shots=shots,
+            mitigation=mitigation,
+        )
+
+    def classical_step(
+        self, fn=None, *, name: str = "classical", seconds: float = 1.0, **requirements
+    ) -> WorkflowStep:
+        """Convenience constructor for a classical step."""
+        requirements = {"seconds": seconds, **requirements}
+        return WorkflowStep(
+            name=name, kind=StepKind.CLASSICAL, fn=fn, requirements=requirements
+        )

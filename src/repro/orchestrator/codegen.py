@@ -1,0 +1,155 @@
+"""Workflow-manager code splitting (§5).
+
+The paper's workflow manager "automatically splits a Python file into
+quantum and classical code files while maintaining library dependencies and
+keeping track of input/output data between the files", then builds the DAG
+the job manager executes. The offline equivalent: users mark functions with
+the :func:`quantum_task` / :func:`classical_task` decorators and declare
+data-flow with ``after=``; :func:`build_workflow` collects every marked
+callable from a namespace (module, class, or dict) into a
+:class:`~repro.orchestrator.workflow.HybridWorkflow`.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from ..circuits.circuit import Circuit
+from .workflow import HybridWorkflow, StepKind, WorkflowStep
+
+__all__ = ["quantum_task", "classical_task", "build_workflow"]
+
+_MARK = "_qonductor_task"
+
+
+def quantum_task(
+    *,
+    name: str | None = None,
+    shots: int = 4000,
+    mitigation: str = "none",
+    after: list[str] | None = None,
+):
+    """Mark a zero-argument function returning a :class:`Circuit` as a
+    quantum step. The circuit is materialized at workflow-build time."""
+
+    def decorate(fn):
+        setattr(
+            fn,
+            _MARK,
+            {
+                "kind": StepKind.QUANTUM,
+                "name": name or fn.__name__,
+                "shots": shots,
+                "mitigation": mitigation,
+                "after": list(after or []),
+            },
+        )
+        return fn
+
+    return decorate
+
+
+def classical_task(
+    *,
+    name: str | None = None,
+    seconds: float = 1.0,
+    after: list[str] | None = None,
+    **requirements,
+):
+    """Mark a function as a classical step (pre/post-processing)."""
+
+    def decorate(fn):
+        setattr(
+            fn,
+            _MARK,
+            {
+                "kind": StepKind.CLASSICAL,
+                "name": name or fn.__name__,
+                "seconds": seconds,
+                "after": list(after or []),
+                "requirements": dict(requirements),
+            },
+        )
+        return fn
+
+    return decorate
+
+
+def _collect(namespace) -> list:
+    if isinstance(namespace, dict):
+        values = namespace.values()
+    else:
+        values = (member for _, member in inspect.getmembers(namespace))
+    tasks = []
+    for value in values:
+        meta = getattr(value, _MARK, None)
+        if meta is not None:
+            tasks.append((value, meta))
+    return tasks
+
+
+def build_workflow(namespace, name: str = "hybrid") -> HybridWorkflow:
+    """Split a marked namespace into a hybrid workflow DAG.
+
+    ``after=["step_name", ...]`` references resolve by task name; tasks
+    without dependencies become roots. Quantum tasks are invoked once here
+    to materialize their circuits (the "generation" part of Fig. 1's
+    pre-processing).
+    """
+    tasks = _collect(namespace)
+    if not tasks:
+        raise ValueError("namespace contains no @quantum_task/@classical_task")
+    names = [meta["name"] for _, meta in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate task names: {sorted(names)}")
+
+    workflow = HybridWorkflow(name)
+    steps: dict[str, WorkflowStep] = {}
+    # Build steps first (dependency-order-insensitive), then wire edges.
+    for fn, meta in tasks:
+        if meta["kind"] is StepKind.QUANTUM:
+            circuit = fn()
+            if not isinstance(circuit, Circuit):
+                raise TypeError(
+                    f"quantum task {meta['name']!r} must return a Circuit, "
+                    f"got {type(circuit).__name__}"
+                )
+            step = WorkflowStep(
+                name=meta["name"],
+                kind=StepKind.QUANTUM,
+                circuit=circuit,
+                shots=meta["shots"],
+                mitigation=meta["mitigation"],
+            )
+        else:
+            step = WorkflowStep(
+                name=meta["name"],
+                kind=StepKind.CLASSICAL,
+                fn=fn,
+                requirements={"seconds": meta["seconds"], **meta["requirements"]},
+            )
+        steps[meta["name"]] = step
+
+    added: set[str] = set()
+
+    def add(task_name: str, stack: tuple[str, ...] = ()) -> None:
+        if task_name in added:
+            return
+        if task_name in stack:
+            raise ValueError(f"dependency cycle through {task_name!r}")
+        meta = next(m for _, m in tasks if m["name"] == task_name)
+        deps = []
+        for dep in meta["after"]:
+            if dep not in steps:
+                raise ValueError(
+                    f"task {task_name!r} depends on unknown task {dep!r}"
+                )
+            add(dep, stack + (task_name,))
+            deps.append(steps[dep])
+        workflow.add_step(steps[task_name], after=deps)
+        added.add(task_name)
+
+    for _, meta in tasks:
+        add(meta["name"])
+    workflow.validate()
+    return workflow

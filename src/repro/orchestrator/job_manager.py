@@ -1,0 +1,157 @@
+"""Job manager (§4): walks a workflow's DAG and runs each job.
+
+Classical steps are placed by the filter-score classical scheduler (their
+waiting time is effectively zero given abundant nodes); quantum steps go
+through the hybrid scheduler onto simulated QPUs. Execution status and
+results are persisted in the system monitor after every step (workflow
+step 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..cloud.backend_sim import SimulatedQPU
+from ..cloud.execution import ExecutionModel
+from ..cloud.job import QuantumJob
+from ..scheduler.classical import ClassicalRequest, ClassicalScheduler
+from ..scheduler.quantum import QonductorScheduler
+from .monitor import SystemMonitor
+from .workflow import HybridWorkflow, StepKind
+
+__all__ = ["WorkflowStatus", "WorkflowRun", "JobManager"]
+
+_run_ids = itertools.count(1)
+
+
+class WorkflowStatus(str, Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class WorkflowRun:
+    """Execution state of one invoked workflow."""
+
+    workflow: HybridWorkflow
+    run_id: int = field(default_factory=lambda: next(_run_ids))
+    status: WorkflowStatus = WorkflowStatus.PENDING
+    step_results: dict[int, dict] = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float | None = None
+    error: str | None = None
+
+    @property
+    def results(self) -> dict:
+        return {
+            "status": self.status.value,
+            "steps": {
+                sid: dict(res) for sid, res in self.step_results.items()
+            },
+            "elapsed_seconds": (
+                (self.finished_at - self.started_at)
+                if self.finished_at is not None
+                else None
+            ),
+        }
+
+
+class JobManager:
+    """Executes workflow runs against the cluster."""
+
+    def __init__(
+        self,
+        scheduler: QonductorScheduler,
+        classical_scheduler: ClassicalScheduler,
+        backends: list[SimulatedQPU],
+        execution_model: ExecutionModel,
+        monitor: SystemMonitor,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.classical_scheduler = classical_scheduler
+        self.backends = backends
+        self.execution_model = execution_model
+        self.monitor = monitor
+        self._rng = np.random.default_rng(seed)
+        self.clock = 0.0
+
+    # ------------------------------------------------------------------
+    def run_workflow(self, workflow: HybridWorkflow) -> WorkflowRun:
+        """Execute all steps in dependency order; returns the run record."""
+        workflow.validate()
+        run = WorkflowRun(workflow=workflow, started_at=self.clock)
+        run.status = WorkflowStatus.RUNNING
+        self.monitor.put("workflows", str(run.run_id), run.results)
+        try:
+            for step in workflow.topological_steps():
+                if step.kind == StepKind.CLASSICAL:
+                    result = self._run_classical(step)
+                else:
+                    result = self._run_quantum(step)
+                run.step_results[step.step_id] = result
+                self.monitor.put("workflows", str(run.run_id), run.results)
+            run.status = WorkflowStatus.COMPLETED
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            run.status = WorkflowStatus.FAILED
+            run.error = str(exc)
+        run.finished_at = self.clock
+        self.monitor.put("workflows", str(run.run_id), run.results)
+        return run
+
+    # ------------------------------------------------------------------
+    def _run_classical(self, step) -> dict:
+        req = ClassicalRequest(
+            cores=int(step.requirements.get("cores", 1)),
+            memory_gb=float(step.requirements.get("memory_gb", 2.0)),
+            gpus=int(step.requirements.get("gpus", 0)),
+        )
+        node = self.classical_scheduler.schedule(req)
+        if node is None:
+            raise RuntimeError(f"no classical node satisfies step {step.name!r}")
+        duration = float(step.requirements.get("seconds", 1.0))
+        output = step.fn() if callable(step.fn) else None
+        self.clock += duration
+        self.classical_scheduler.release(node.name, req)
+        return {
+            "kind": "classical",
+            "name": step.name,
+            "node": node.name,
+            "seconds": duration,
+            "output": output,
+        }
+
+    def _run_quantum(self, step) -> dict:
+        job = QuantumJob.from_circuit(
+            step.circuit, shots=step.shots, mitigation=step.mitigation
+        )
+        waiting = {b.name: b.waiting_seconds(self.clock) for b in self.backends}
+        schedule = self.scheduler.schedule(
+            [job], [b.qpu for b in self.backends], waiting
+        )
+        if not schedule.decisions:
+            raise RuntimeError(
+                f"quantum step {step.name!r} is unschedulable "
+                f"({job.num_qubits} qubits)"
+            )
+        decision = schedule.decisions[0]
+        backend = next(b for b in self.backends if b.name == decision.qpu_name)
+        record = backend.execute(job, self.clock, self.execution_model, self._rng)
+        self.clock = max(self.clock, backend.free_at)
+        return {
+            "kind": "quantum",
+            "name": step.name,
+            "qpu": decision.qpu_name,
+            "est_fidelity": decision.est_fidelity,
+            "fidelity": record.fidelity,
+            "quantum_seconds": record.quantum_seconds,
+            "shots": step.shots,
+            "mitigation": step.mitigation,
+        }

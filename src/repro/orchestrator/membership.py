@@ -1,0 +1,51 @@
+"""Failure detection (§4): heartbeats under partial synchrony.
+
+Control-plane and monitor replicas exchange heartbeats; a peer whose
+heartbeat is delayed beyond ``delta`` is suspected failed (the paper
+assumes the partially synchronous model of Dwork/Lynch/Stockmeyer, with
+failure detection triggering Raft re-election).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HeartbeatTracker"]
+
+
+@dataclass
+class HeartbeatTracker:
+    """Tracks last-heard times and flags suspects past the delta bound."""
+
+    delta_seconds: float = 5.0
+    _last_heard: dict[str, float] = field(default_factory=dict)
+
+    def register(self, node: str, now: float = 0.0) -> None:
+        self._last_heard[node] = now
+
+    def heartbeat(self, node: str, now: float) -> None:
+        if node not in self._last_heard:
+            raise KeyError(f"unknown node {node!r}; register first")
+        self._last_heard[node] = now
+
+    def deregister(self, node: str) -> None:
+        self._last_heard.pop(node, None)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._last_heard)
+
+    def suspects(self, now: float) -> list[str]:
+        """Nodes whose heartbeat is older than delta."""
+        return sorted(
+            n
+            for n, t in self._last_heard.items()
+            if now - t > self.delta_seconds
+        )
+
+    def alive(self, now: float) -> list[str]:
+        return sorted(
+            n
+            for n, t in self._last_heard.items()
+            if now - t <= self.delta_seconds
+        )

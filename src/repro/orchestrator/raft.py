@@ -1,0 +1,150 @@
+"""Raft-style leader election over 2f+1 replicas (§4's fault tolerance).
+
+A deliberately compact, message-passing-free adaptation for the simulated
+control plane: replicas share a virtual network (the cluster object),
+elections follow Raft's term/vote rules (one vote per term, majority wins,
+higher terms depose leaders), and failures are injected by marking nodes
+down. Log replication is modeled as snapshot shipping from the leader's
+:class:`~repro.orchestrator.monitor.SystemMonitor` (what etcd's raft does
+for the paper's datastore).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Role", "RaftNode", "RaftCluster"]
+
+
+class Role(str, Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass
+class RaftNode:
+    """One control-plane replica's election state."""
+
+    name: str
+    term: int = 0
+    role: Role = Role.FOLLOWER
+    voted_for: str | None = None
+    up: bool = True
+    state: dict = field(default_factory=dict)  # replicated snapshot
+
+    def request_vote(self, candidate: str, term: int) -> bool:
+        """Raft §5.2 vote rule: one vote per term, step down on higher term."""
+        if not self.up or term < self.term:
+            return False
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+            if self.role is not Role.FOLLOWER:
+                self.role = Role.FOLLOWER
+        if self.voted_for in (None, candidate):
+            self.voted_for = candidate
+            return True
+        return False
+
+
+class RaftCluster:
+    """A quorum of 2f+1 replicas with explicit election rounds."""
+
+    def __init__(self, f: int = 1, seed: int = 0) -> None:
+        if f < 0:
+            raise ValueError("f must be >= 0")
+        self.f = f
+        self.nodes = [RaftNode(f"replica{i}") for i in range(2 * f + 1)]
+        self._rng = np.random.default_rng(seed)
+        # Bootstrap: replica0 starts as leader of term 1.
+        self.nodes[0].role = Role.LEADER
+        self.nodes[0].term = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def quorum(self) -> int:
+        return self.f + 1
+
+    def leader(self) -> RaftNode | None:
+        up_leaders = [n for n in self.nodes if n.up and n.role is Role.LEADER]
+        if not up_leaders:
+            return None
+        return max(up_leaders, key=lambda n: n.term)
+
+    def node(self, name: str) -> RaftNode:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def fail(self, name: str) -> None:
+        self.node(name).up = False
+
+    def recover(self, name: str) -> None:
+        node = self.node(name)
+        node.up = True
+        node.role = Role.FOLLOWER
+        leader = self.leader()
+        if leader is not None:
+            node.term = leader.term
+            node.state = dict(leader.state)
+
+    def elect(self) -> RaftNode | None:
+        """Run election rounds until some up-node wins a majority.
+
+        Candidates start in randomized order (election-timeout jitter).
+        Returns the new leader, or None when no quorum of nodes is up.
+        """
+        up = [n for n in self.nodes if n.up]
+        if len(up) < self.quorum:
+            return None
+        for _ in range(20):  # bounded retries; jitter breaks ties quickly
+            order = list(self._rng.permutation(len(up)))
+            for idx in order:
+                candidate = up[idx]
+                candidate.term += 1
+                candidate.role = Role.CANDIDATE
+                candidate.voted_for = candidate.name
+                votes = 1 + sum(
+                    1
+                    for peer in self.nodes
+                    if peer is not candidate
+                    and peer.request_vote(candidate.name, candidate.term)
+                )
+                if votes >= self.quorum:
+                    for n in self.nodes:
+                        if n is not candidate and n.role is Role.LEADER:
+                            n.role = Role.FOLLOWER
+                    candidate.role = Role.LEADER
+                    return candidate
+                candidate.role = Role.FOLLOWER
+        return None
+
+    def replicate(self, snapshot: dict) -> int:
+        """Leader ships its state snapshot; returns the ack count."""
+        leader = self.leader()
+        if leader is None:
+            raise RuntimeError("no leader to replicate from")
+        leader.state = dict(snapshot)
+        acks = 1
+        for n in self.nodes:
+            if n is leader or not n.up:
+                continue
+            n.state = dict(snapshot)
+            n.term = leader.term
+            acks += 1
+        if acks < self.quorum:
+            raise RuntimeError("lost quorum during replication")
+        return acks
+
+    def ensure_leader(self) -> RaftNode | None:
+        """Heartbeat-driven recovery: elect when the leader is down."""
+        leader = self.leader()
+        if leader is not None:
+            return leader
+        return self.elect()

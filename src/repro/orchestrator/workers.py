@@ -1,0 +1,117 @@
+"""Worker nodes and device managers (§4).
+
+Each worker's device manager (1) executes jobs on its underlying device and
+(2) periodically pushes static and dynamic device state — including fresh
+QPU calibration after every cycle — into the system monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends.qpu import QPU
+from ..scheduler.classical import ClassicalNode
+from .monitor import SystemMonitor
+
+__all__ = ["QuantumWorker", "ClassicalWorker", "DeviceManager"]
+
+
+@dataclass
+class QuantumWorker:
+    """A worker node managing one QPU."""
+
+    qpu: QPU
+
+    @property
+    def name(self) -> str:
+        return f"worker-{self.qpu.name}"
+
+    def static_info(self) -> dict:
+        return {
+            "device": self.qpu.name,
+            "model": self.qpu.model.name,
+            "num_qubits": self.qpu.num_qubits,
+            "basis_gates": list(self.qpu.basis_gates),
+            "coupling_edges": len(self.qpu.coupling),
+        }
+
+    def dynamic_info(self, queue_size: int = 0, waiting_seconds: float = 0.0) -> dict:
+        return {
+            "online": self.qpu.online,
+            "calibration_cycle": self.qpu.cycle,
+            "quality_factor": self.qpu.calibration.quality_factor,
+            "mean_error_2q": self.qpu.calibration.mean_error_2q,
+            "mean_readout_error": self.qpu.calibration.mean_readout_error,
+            "queue_size": queue_size,
+            "waiting_seconds": waiting_seconds,
+        }
+
+
+@dataclass
+class ClassicalWorker:
+    """A worker node managing one classical machine."""
+
+    node: ClassicalNode
+
+    @property
+    def name(self) -> str:
+        return f"worker-{self.node.name}"
+
+    def static_info(self) -> dict:
+        return {
+            "device": self.node.name,
+            "cores": self.node.cores,
+            "memory_gb": self.node.memory_gb,
+            "gpus": self.node.gpus,
+            "tier": self.node.tier,
+        }
+
+    def dynamic_info(self) -> dict:
+        return {
+            "alloc_cores": self.node.alloc_cores,
+            "alloc_memory_gb": self.node.alloc_memory_gb,
+            "alloc_gpus": self.node.alloc_gpus,
+        }
+
+
+class DeviceManager:
+    """Pushes all workers' state into the system monitor."""
+
+    def __init__(
+        self,
+        monitor: SystemMonitor,
+        quantum: list[QuantumWorker],
+        classical: list[ClassicalWorker] | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.quantum = quantum
+        self.classical = classical or []
+        self._last_cycle: dict[str, int] = {}
+        for w in self.quantum:
+            monitor.put("qpu_static", w.qpu.name, w.static_info())
+        for w in self.classical:
+            monitor.put("node_static", w.node.name, w.static_info())
+
+    def poll(
+        self,
+        queue_sizes: dict[str, int] | None = None,
+        waiting: dict[str, float] | None = None,
+    ) -> list[str]:
+        """Refresh dynamic state; returns QPUs whose calibration changed."""
+        queue_sizes = queue_sizes or {}
+        waiting = waiting or {}
+        recalibrated = []
+        for w in self.quantum:
+            name = w.qpu.name
+            self.monitor.put(
+                "qpu_dynamic",
+                name,
+                w.dynamic_info(queue_sizes.get(name, 0), waiting.get(name, 0.0)),
+            )
+            if self._last_cycle.get(name) != w.qpu.cycle:
+                self.monitor.put("qpu_calibration", name, w.qpu.calibration)
+                self._last_cycle[name] = w.qpu.cycle
+                recalibrated.append(name)
+        for w in self.classical:
+            self.monitor.put("node_dynamic", w.node.name, w.dynamic_info())
+        return recalibrated

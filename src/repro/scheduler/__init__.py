@@ -1,0 +1,35 @@
+"""Hybrid scheduling (§7): the NSGA-II/MCDM quantum scheduler, the
+filter-score classical scheduler, baseline policies, triggers, and
+calibration-crossover re-evaluation."""
+
+from .formulation import SchedulingInput, SchedulingProblem
+from .quantum import QonductorScheduler, QuantumSchedule, ScheduleDecision
+from .classical import ClassicalNode, ClassicalRequest, ClassicalScheduler
+from .policies import FCFSPolicy, LeastBusyPolicy, RandomPolicy
+from .triggers import SchedulingTrigger
+from .reservations import Reservation, ReservationManager
+from .calibration_crossover import (
+    CrossoverReport,
+    reevaluate_post_calibration,
+    split_at_calibration,
+)
+
+__all__ = [
+    "SchedulingInput",
+    "SchedulingProblem",
+    "QonductorScheduler",
+    "QuantumSchedule",
+    "ScheduleDecision",
+    "ClassicalNode",
+    "ClassicalRequest",
+    "ClassicalScheduler",
+    "FCFSPolicy",
+    "LeastBusyPolicy",
+    "RandomPolicy",
+    "SchedulingTrigger",
+    "Reservation",
+    "ReservationManager",
+    "CrossoverReport",
+    "reevaluate_post_calibration",
+    "split_at_calibration",
+]

@@ -1,0 +1,97 @@
+"""Calibration-crossover handling (§7).
+
+When a generated schedule spans a calibration boundary, jobs projected to
+start after the boundary are re-estimated against the *next* calibration
+(approximated by the post-cycle snapshot once available, or flagged for
+re-scheduling) and reassigned if a better QPU emerges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..backends.qpu import QPU
+from ..cloud.job import QuantumJob
+from .quantum import QuantumSchedule, ScheduleDecision
+
+__all__ = ["CrossoverReport", "split_at_calibration", "reevaluate_post_calibration"]
+
+EstimateFn = Callable[[QuantumJob, QPU], tuple[float, float]]
+
+
+@dataclass
+class CrossoverReport:
+    """Result of a calibration-boundary re-evaluation."""
+
+    pre_boundary: list[ScheduleDecision]
+    post_boundary: list[ScheduleDecision]
+    reassigned: int
+
+
+def split_at_calibration(
+    schedule: QuantumSchedule,
+    waiting_seconds: dict[str, float],
+    boundary_seconds_from_now: float,
+) -> tuple[list[ScheduleDecision], list[ScheduleDecision]]:
+    """Partition decisions by projected start time vs the boundary.
+
+    Projection: jobs assigned to a QPU start after its current queue plus
+    the batch jobs placed before them on the same QPU.
+    """
+    clock: dict[str, float] = dict(waiting_seconds)
+    pre: list[ScheduleDecision] = []
+    post: list[ScheduleDecision] = []
+    for dec in schedule.decisions:
+        start = clock.get(dec.qpu_name, 0.0)
+        clock[dec.qpu_name] = start + dec.est_exec_seconds
+        if start < boundary_seconds_from_now:
+            pre.append(dec)
+        else:
+            post.append(dec)
+    return pre, post
+
+
+def reevaluate_post_calibration(
+    schedule: QuantumSchedule,
+    qpus: list[QPU],
+    waiting_seconds: dict[str, float],
+    boundary_seconds_from_now: float,
+    estimate_fn: EstimateFn,
+    *,
+    improvement_threshold: float = 0.02,
+) -> CrossoverReport:
+    """Re-estimate post-boundary jobs with fresh calibration data and move
+    any whose fidelity improves by more than ``improvement_threshold`` on a
+    different QPU."""
+    pre, post = split_at_calibration(
+        schedule, waiting_seconds, boundary_seconds_from_now
+    )
+    by_name = {q.name: q for q in qpus if q.online}
+    reassigned = 0
+    updated: list[ScheduleDecision] = []
+    for dec in post:
+        job = dec.job
+        current = by_name.get(dec.qpu_name)
+        if current is None:
+            updated.append(dec)
+            continue
+        cur_fid, cur_sec = estimate_fn(job, current)
+        best_name, best_fid, best_sec = dec.qpu_name, cur_fid, cur_sec
+        for qpu in by_name.values():
+            if qpu.num_qubits < job.num_qubits or qpu.name == dec.qpu_name:
+                continue
+            fid, sec = estimate_fn(job, qpu)
+            if fid > best_fid + improvement_threshold:
+                best_name, best_fid, best_sec = qpu.name, fid, sec
+        if best_name != dec.qpu_name:
+            reassigned += 1
+        updated.append(
+            ScheduleDecision(
+                job=job,
+                qpu_name=best_name,
+                est_fidelity=best_fid,
+                est_exec_seconds=best_sec,
+            )
+        )
+    return CrossoverReport(pre_boundary=pre, post_boundary=updated, reassigned=reassigned)

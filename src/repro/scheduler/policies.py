@@ -1,0 +1,100 @@
+"""Baseline quantum scheduling policies.
+
+* :class:`FCFSPolicy` — the paper's baseline: jobs are served strictly in
+  arrival order and each picks the **highest-fidelity** QPU that fits
+  (standard current practice, which is what creates hotspots, §3).
+* :class:`LeastBusyPolicy` — IBM's ``least_busy`` selector [15].
+* :class:`RandomPolicy` — load-oblivious control.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..backends.qpu import QPU
+from ..cloud.job import QuantumJob
+
+__all__ = ["FCFSPolicy", "LeastBusyPolicy", "RandomPolicy"]
+
+EstimateFn = Callable[[QuantumJob, QPU], tuple[float, float]]
+
+
+class FCFSPolicy:
+    """First-come-first-serve onto the best-fidelity feasible QPU."""
+
+    name = "fcfs"
+
+    def __init__(self, estimate_fn: EstimateFn) -> None:
+        self.estimate_fn = estimate_fn
+
+    def assign(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        waiting_seconds: dict[str, float],
+    ) -> list[tuple[QuantumJob, str | None]]:
+        out: list[tuple[QuantumJob, str | None]] = []
+        for job in jobs:
+            feasible = [q for q in qpus if q.online and q.num_qubits >= job.num_qubits]
+            if not feasible:
+                out.append((job, None))
+                continue
+            best = max(feasible, key=lambda q: self.estimate_fn(job, q)[0])
+            out.append((job, best.name))
+        return out
+
+
+class LeastBusyPolicy:
+    """Each job goes to the feasible QPU with the shortest queue."""
+
+    name = "least_busy"
+
+    def __init__(self, estimate_fn: EstimateFn) -> None:
+        self.estimate_fn = estimate_fn
+
+    def assign(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        waiting_seconds: dict[str, float],
+    ) -> list[tuple[QuantumJob, str | None]]:
+        # Track queue growth within the batch so assignments spread.
+        local_wait = dict(waiting_seconds)
+        out: list[tuple[QuantumJob, str | None]] = []
+        for job in jobs:
+            feasible = [q for q in qpus if q.online and q.num_qubits >= job.num_qubits]
+            if not feasible:
+                out.append((job, None))
+                continue
+            best = min(feasible, key=lambda q: local_wait.get(q.name, 0.0))
+            _, sec = self.estimate_fn(job, best)
+            local_wait[best.name] = local_wait.get(best.name, 0.0) + sec
+            out.append((job, best.name))
+        return out
+
+
+class RandomPolicy:
+    """Uniform random feasible assignment."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def assign(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        waiting_seconds: dict[str, float],
+    ) -> list[tuple[QuantumJob, str | None]]:
+        out: list[tuple[QuantumJob, str | None]] = []
+        for job in jobs:
+            feasible = [q for q in qpus if q.online and q.num_qubits >= job.num_qubits]
+            if not feasible:
+                out.append((job, None))
+                continue
+            pick = feasible[int(self._rng.integers(len(feasible)))]
+            out.append((job, pick.name))
+        return out

@@ -1,0 +1,201 @@
+"""The Qonductor quantum scheduler (§7, Fig. 5).
+
+Three configurable stages:
+
+1. **Job pre-processing** — filter jobs/QPUs, fetch fidelity and runtime
+   estimates (from the resource estimator via the system monitor).
+2. **Optimization** — NSGA-II over the Eq. 1 problem, producing a Pareto
+   front of batch assignments.
+3. **Selection** — MCDM pseudo-weights pick one solution matching the
+   operator's preference (fidelity / balanced / JCT).
+
+Stage runtimes are measured individually (Fig. 9c).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backends.qpu import QPU
+from ..cloud.job import QuantumJob
+from ..moo import NSGA2, Termination, select_by_preference
+from .formulation import SchedulingInput, SchedulingProblem
+
+__all__ = ["ScheduleDecision", "QuantumSchedule", "QonductorScheduler"]
+
+#: Estimate callback signature: (job, qpu) -> (fidelity, exec_seconds).
+EstimateFn = Callable[[QuantumJob, QPU], tuple[float, float]]
+
+
+@dataclass
+class ScheduleDecision:
+    """One job's assignment."""
+
+    job: QuantumJob
+    qpu_name: str
+    est_fidelity: float
+    est_exec_seconds: float
+
+
+@dataclass
+class QuantumSchedule:
+    """Output of one scheduling cycle."""
+
+    decisions: list[ScheduleDecision]
+    unschedulable: list[QuantumJob]
+    front_F: np.ndarray  # Pareto front objective matrix (JCT, error)
+    chosen_index: int
+    stats: dict
+    stage_seconds: dict = field(default_factory=dict)
+    #: Mean per-job execution seconds of every front solution (Fig. 10a).
+    front_exec_seconds: np.ndarray = field(
+        default_factory=lambda: np.zeros(0)
+    )
+
+    @property
+    def front_min_jct(self) -> float:
+        return float(self.front_F[:, 0].min()) if len(self.front_F) else 0.0
+
+    @property
+    def front_max_jct(self) -> float:
+        return float(self.front_F[:, 0].max()) if len(self.front_F) else 0.0
+
+    @property
+    def front_min_fidelity(self) -> float:
+        return float(1.0 - self.front_F[:, 1].max()) if len(self.front_F) else 0.0
+
+    @property
+    def front_max_fidelity(self) -> float:
+        return float(1.0 - self.front_F[:, 1].min()) if len(self.front_F) else 0.0
+
+
+class QonductorScheduler:
+    """Many-to-many hybrid scheduler balancing fidelity vs JCT."""
+
+    def __init__(
+        self,
+        estimate_fn: EstimateFn,
+        *,
+        preference: str | tuple[float, float] = "balanced",
+        pop_size: int = 64,
+        max_generations: int = 40,
+        seed: int = 0,
+        on_recalibrate: Callable[[list[QPU]], None] | None = None,
+    ) -> None:
+        self.estimate_fn = estimate_fn
+        self.preference = preference
+        self.pop_size = pop_size
+        self.max_generations = max_generations
+        self._seed = seed
+        self._cycle = 0
+        self._on_recalibrate = on_recalibrate
+
+    def on_recalibration(self, qpus: list[QPU]) -> None:
+        """Calibration-cycle hook (called by the cloud simulator).
+
+        The standard wiring passes the resource estimator's
+        ``refresh_templates`` so template averages track fresh calibration
+        data; estimate_fn closures over per-QPU calibration pick up the new
+        snapshots automatically.
+        """
+        if self._on_recalibrate is not None:
+            self._on_recalibrate(qpus)
+
+    # ------------------------------------------------------------------
+    def preprocess(
+        self, jobs: list[QuantumJob], qpus: list[QPU], waiting_seconds: dict[str, float]
+    ) -> tuple[SchedulingInput | None, list[QuantumJob], list[QuantumJob]]:
+        """Stage 1: filter and build estimate matrices.
+
+        Returns (input | None, schedulable_jobs, filtered_out_jobs).
+        """
+        online = [q for q in qpus if q.online]
+        max_width = max((q.num_qubits for q in online), default=0)
+        schedulable = [j for j in jobs if j.num_qubits <= max_width]
+        rejected = [j for j in jobs if j.num_qubits > max_width]
+        if not schedulable or not online:
+            return None, schedulable, rejected
+        n, m = len(schedulable), len(online)
+        fid = np.zeros((n, m))
+        sec = np.zeros((n, m))
+        feas = np.zeros((n, m), dtype=bool)
+        for i, job in enumerate(schedulable):
+            for k, qpu in enumerate(online):
+                if job.num_qubits > qpu.num_qubits:
+                    continue
+                feas[i, k] = True
+                fid[i, k], sec[i, k] = self.estimate_fn(job, qpu)
+        wait = np.array([waiting_seconds.get(q.name, 0.0) for q in online])
+        data = SchedulingInput(
+            fidelity=fid, exec_seconds=sec, waiting_seconds=wait, feasible=feas
+        )
+        return data, schedulable, rejected
+
+    def schedule(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        waiting_seconds: dict[str, float] | None = None,
+    ) -> QuantumSchedule:
+        """Run one full scheduling cycle over ``jobs``."""
+        self._cycle += 1
+        waiting_seconds = waiting_seconds or {}
+        online = [q for q in qpus if q.online]
+
+        t0 = time.perf_counter()
+        data, schedulable, rejected = self.preprocess(jobs, qpus, waiting_seconds)
+        t_pre = time.perf_counter() - t0
+        if data is None:
+            return QuantumSchedule(
+                decisions=[],
+                unschedulable=rejected,
+                front_F=np.zeros((0, 2)),
+                chosen_index=-1,
+                stats={},
+                stage_seconds={"preprocess": t_pre, "optimize": 0.0, "select": 0.0},
+            )
+
+        t0 = time.perf_counter()
+        problem = SchedulingProblem(data, seed=self._seed + self._cycle)
+        algo = NSGA2(pop_size=self.pop_size, seed=self._seed + self._cycle)
+        result = algo.minimize(
+            problem, Termination(max_generations=self.max_generations)
+        )
+        t_opt = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        chosen = select_by_preference(result.F, self.preference)
+        assignment = result.X[chosen]
+        t_sel = time.perf_counter() - t0
+
+        rows = np.arange(data.num_jobs)
+        front_exec = np.array(
+            [data.exec_seconds[rows, x].mean() for x in result.X]
+        )
+
+        decisions = [
+            ScheduleDecision(
+                job=job,
+                qpu_name=online[assignment[i]].name,
+                est_fidelity=float(data.fidelity[i, assignment[i]]),
+                est_exec_seconds=float(data.exec_seconds[i, assignment[i]]),
+            )
+            for i, job in enumerate(schedulable)
+        ]
+        return QuantumSchedule(
+            decisions=decisions,
+            unschedulable=rejected,
+            front_F=result.F,
+            chosen_index=chosen,
+            stats=problem.assignment_stats(assignment),
+            stage_seconds={
+                "preprocess": t_pre,
+                "optimize": t_opt,
+                "select": t_sel,
+            },
+            front_exec_seconds=front_exec,
+        )

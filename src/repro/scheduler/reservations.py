@@ -1,0 +1,79 @@
+"""Priority access / provider reservations (§7).
+
+Qonductor deliberately does not implement reservations itself (they
+exacerbate load imbalance); when the surrounding cloud does, reserved QPUs
+are treated as *temporarily offline* — removed from the schedulable pool
+for the reservation window and restored afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..backends.qpu import QPU
+
+__all__ = ["Reservation", "ReservationManager"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One exclusive-access window on one device."""
+
+    qpu_name: str
+    start: float
+    end: float
+    holder: str = "unknown"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("reservation must have positive duration")
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass
+class ReservationManager:
+    """Tracks reservations and toggles QPU availability accordingly."""
+
+    reservations: list[Reservation] = field(default_factory=list)
+
+    def reserve(
+        self, qpu_name: str, start: float, end: float, holder: str = "unknown"
+    ) -> Reservation:
+        """Register a window; overlapping windows on one device are rejected."""
+        candidate = Reservation(qpu_name, start, end, holder)
+        for existing in self.reservations:
+            if existing.qpu_name != qpu_name:
+                continue
+            if candidate.start < existing.end and existing.start < candidate.end:
+                raise ValueError(
+                    f"overlapping reservation on {qpu_name!r}: "
+                    f"[{existing.start}, {existing.end})"
+                )
+        self.reservations.append(candidate)
+        return candidate
+
+    def cancel(self, reservation: Reservation) -> None:
+        self.reservations.remove(reservation)
+
+    def reserved_names(self, now: float) -> set[str]:
+        return {r.qpu_name for r in self.reservations if r.active_at(now)}
+
+    def apply(self, fleet: list[QPU], now: float) -> list[str]:
+        """Set each QPU's ``online`` flag per the active reservations.
+
+        Returns the names currently held offline. The scheduler's
+        pre-processing stage already filters offline devices, so this is
+        the complete §7 behaviour: reserved == temporarily offline.
+        """
+        held = self.reserved_names(now)
+        for qpu in fleet:
+            qpu.online = qpu.name not in held
+        return sorted(held)
+
+    def prune(self, now: float) -> int:
+        """Drop expired reservations; returns how many were removed."""
+        before = len(self.reservations)
+        self.reservations = [r for r in self.reservations if r.end > now]
+        return before - len(self.reservations)

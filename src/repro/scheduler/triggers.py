@@ -1,0 +1,31 @@
+"""Scheduling triggers (§7): queue-size and time-based invocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SchedulingTrigger"]
+
+
+@dataclass
+class SchedulingTrigger:
+    """Fires when the pending queue reaches ``queue_limit`` jobs or when
+    ``interval_seconds`` have elapsed since the last cycle — the paper's
+    defaults are 100 jobs / 120 s."""
+
+    queue_limit: int = 100
+    interval_seconds: float = 120.0
+    _last_fired: float = 0.0
+
+    def should_fire(self, queue_size: int, now: float) -> bool:
+        if queue_size <= 0:
+            return False
+        if queue_size >= self.queue_limit:
+            return True
+        return (now - self._last_fired) >= self.interval_seconds
+
+    def fired(self, now: float) -> None:
+        self._last_fired = now
+
+    def next_deadline(self, now: float) -> float:
+        return self._last_fired + self.interval_seconds

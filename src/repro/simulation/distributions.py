@@ -1,0 +1,94 @@
+"""Probability-distribution utilities: counts, Hellinger fidelity, helpers.
+
+The paper's quality metric is the *Hellinger fidelity* between the noisy
+device distribution and the ideal distribution (its §2.1). We implement it
+over both dense probability vectors and sparse counts dictionaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "counts_to_probs",
+    "probs_to_vector",
+    "hellinger_fidelity",
+    "hellinger_distance",
+    "total_variation_distance",
+    "normalize_counts",
+    "marginal_counts",
+]
+
+
+def counts_to_probs(counts: dict[str, int]) -> dict[str, float]:
+    """Normalize a counts dict into a probability dict."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("empty counts")
+    return {k: v / total for k, v in counts.items()}
+
+
+def probs_to_vector(probs: dict[str, float], num_qubits: int) -> np.ndarray:
+    """Dense probability vector from a bitstring-keyed dict."""
+    vec = np.zeros(2**num_qubits)
+    for bits, p in probs.items():
+        vec[int(bits, 2)] = p
+    return vec
+
+
+def normalize_counts(counts: dict[str, int], num_qubits: int) -> np.ndarray:
+    """Counts dict -> dense, normalized probability vector."""
+    return probs_to_vector(counts_to_probs(counts), num_qubits)
+
+
+def _as_vectors(p, q, num_qubits: int | None):
+    if isinstance(p, dict) or isinstance(q, dict):
+        if num_qubits is None:
+            keys = list(p.keys() if isinstance(p, dict) else q.keys())
+            num_qubits = len(keys[0]) if keys else 1
+        if isinstance(p, dict):
+            tot = sum(p.values())
+            p = probs_to_vector({k: v / tot for k, v in p.items()}, num_qubits)
+        if isinstance(q, dict):
+            tot = sum(q.values())
+            q = probs_to_vector({k: v / tot for k, v in q.items()}, num_qubits)
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch {p.shape} vs {q.shape}")
+    return p, q
+
+
+def hellinger_distance(p, q, num_qubits: int | None = None) -> float:
+    """Hellinger distance H(p, q) in [0, 1]."""
+    p, q = _as_vectors(p, q, num_qubits)
+    bc = np.sum(np.sqrt(np.clip(p, 0, None) * np.clip(q, 0, None)))
+    return math.sqrt(max(0.0, 1.0 - min(1.0, bc)))
+
+
+def hellinger_fidelity(p, q, num_qubits: int | None = None) -> float:
+    """Hellinger fidelity ``(sum sqrt(p q))**2`` in [0, 1]; 1 = identical.
+
+    Accepts dense vectors or counts/prob dicts (mixed allowed).
+    """
+    p, q = _as_vectors(p, q, num_qubits)
+    bc = float(np.sum(np.sqrt(np.clip(p, 0, None) * np.clip(q, 0, None))))
+    return min(1.0, bc * bc)
+
+
+def total_variation_distance(p, q, num_qubits: int | None = None) -> float:
+    """TVD = 0.5 * sum |p - q|."""
+    p, q = _as_vectors(p, q, num_qubits)
+    return float(0.5 * np.sum(np.abs(p - q)))
+
+
+def marginal_counts(counts: dict[str, int], keep: list[int]) -> dict[str, int]:
+    """Marginalize counts onto qubit indices ``keep`` (qubit 0 = rightmost)."""
+    out: dict[str, int] = {}
+    for bits, c in counts.items():
+        n = len(bits)
+        sub = "".join(bits[n - 1 - q] for q in sorted(keep, reverse=True))
+        out[sub] = out.get(sub, 0) + c
+    return out

@@ -1,0 +1,157 @@
+"""Vectorized statevector simulator.
+
+Gate application reshapes the 2**n amplitude vector into a tensor and
+contracts the gate matrix over the target axes — no Python loop over
+amplitudes, per the HPC guides. Practical up to ~20 qubits.
+
+Qubit convention: qubit 0 is the *least significant* bit of the basis-state
+index (little-endian), matching how counts are reported as bitstrings with
+qubit 0 rightmost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+
+__all__ = [
+    "zero_state",
+    "apply_gate",
+    "apply_matrix",
+    "apply_gate_to_matrix",
+    "simulate_statevector",
+    "ideal_probabilities",
+    "sample_counts",
+    "expectation_z",
+]
+
+MAX_STATEVECTOR_QUBITS = 22
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """|0...0> statevector of ``num_qubits`` qubits."""
+    if num_qubits > MAX_STATEVECTOR_QUBITS:
+        raise ValueError(
+            f"statevector simulation limited to {MAX_STATEVECTOR_QUBITS} qubits, "
+            f"got {num_qubits}"
+        )
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def apply_matrix(
+    state: np.ndarray, matrix: np.ndarray, qubits: tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit unitary ``matrix`` to ``qubits`` of ``state``.
+
+    The state is viewed as a rank-n tensor with axis ``i`` corresponding to
+    qubit ``n-1-i`` (C-order: qubit 0 varies fastest). The matrix is applied
+    by ``np.tensordot`` over the target axes followed by an axis move.
+    """
+    k = len(qubits)
+    tensor = state.reshape((2,) * num_qubits)
+    # Axis of qubit q in the C-ordered tensor:
+    axes = [num_qubits - 1 - q for q in qubits]
+    gate_tensor = matrix.reshape((2,) * (2 * k))
+    # tensordot contracts the *last* k axes of gate_tensor (the input indices)
+    # with the target axes of the state tensor.
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    # Output axes of the gate land first, in qubit order; move them back.
+    moved = np.moveaxis(moved, range(k), axes)
+    return np.ascontiguousarray(moved).reshape(-1)
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply a single unitary :class:`Gate` to a statevector."""
+    return apply_matrix(state, gate.matrix(), gate.qubits, num_qubits)
+
+
+def apply_gate_to_matrix(mat: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Left-multiply a full 2**n x 2**n matrix by a gate (column-wise apply)."""
+    out = np.empty_like(mat)
+    for col in range(mat.shape[1]):
+        out[:, col] = apply_matrix(
+            np.ascontiguousarray(mat[:, col]), gate.matrix(), gate.qubits, num_qubits
+        )
+    return out
+
+
+def simulate_statevector(circuit: Circuit) -> np.ndarray:
+    """Run the unitary part of ``circuit`` on |0...0>; returns the state."""
+    state = zero_state(circuit.num_qubits)
+    for gate in circuit.ops:
+        if gate.is_unitary:
+            state = apply_gate(state, gate, circuit.num_qubits)
+        elif gate.name == "reset":
+            state = _project_reset(state, gate.qubits[0], circuit.num_qubits)
+        elif gate.name == "project":
+            proj = _PROJECTORS[int(gate.params[0])]
+            state = apply_matrix(state, proj, gate.qubits, circuit.num_qubits)
+        # measure/barrier/delay are no-ops for pure-state evolution here
+    return state
+
+
+_PROJECTORS = (
+    np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex),
+    np.array([[0.0, 0.0], [0.0, 1.0]], dtype=complex),
+)
+
+
+def _project_reset(state: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+    """Non-unitary reset: project qubit to |0> (renormalized), flip if needed."""
+    tensor = state.reshape((2,) * num_qubits)
+    axis = num_qubits - 1 - qubit
+    zero = np.take(tensor, 0, axis=axis)
+    one = np.take(tensor, 1, axis=axis)
+    p0 = float(np.sum(np.abs(zero) ** 2))
+    p1 = float(np.sum(np.abs(one) ** 2))
+    new = np.zeros_like(tensor)
+    idx = [slice(None)] * num_qubits
+    idx[axis] = 0
+    if p0 >= p1:
+        branch, norm = zero, np.sqrt(p0) if p0 > 0 else 1.0
+    else:
+        branch, norm = one, np.sqrt(p1)
+    new[tuple(idx)] = branch / norm
+    return new.reshape(-1)
+
+
+def ideal_probabilities(circuit: Circuit) -> np.ndarray:
+    """Measurement probabilities of the noiseless circuit over all qubits."""
+    state = simulate_statevector(circuit.without_measurements())
+    return np.abs(state) ** 2
+
+
+def sample_counts(
+    probabilities: np.ndarray,
+    shots: int,
+    rng: np.random.Generator,
+    num_qubits: int | None = None,
+) -> dict[str, int]:
+    """Draw ``shots`` samples from a probability vector into a counts dict.
+
+    Keys are bitstrings with qubit 0 rightmost (little-endian display).
+    """
+    n = int(np.log2(len(probabilities))) if num_qubits is None else num_qubits
+    probs = np.clip(probabilities, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("probability vector sums to zero")
+    probs = probs / total
+    draws = rng.multinomial(shots, probs)
+    counts: dict[str, int] = {}
+    for idx in np.nonzero(draws)[0]:
+        counts[format(idx, f"0{n}b")] = int(draws[idx])
+    return counts
+
+
+def expectation_z(state: np.ndarray, qubit: int, num_qubits: int) -> float:
+    """<Z_qubit> for a statevector."""
+    probs = np.abs(state) ** 2
+    indices = np.arange(len(probs))
+    bit = (indices >> qubit) & 1
+    signs = 1.0 - 2.0 * bit
+    return float(np.dot(signs, probs))

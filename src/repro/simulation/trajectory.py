@@ -1,0 +1,240 @@
+"""Stochastic (quantum-trajectory) noisy simulation.
+
+Noise is injected between ideal gates along an ASAP schedule of the circuit:
+
+* **Gate errors** — after every unitary gate, a depolarizing-style Pauli
+  error fires on each involved qubit with the gate's calibrated error
+  probability.
+* **Amplitude damping** — stochastic jumps toward |0> accumulate over both
+  gate durations and idle windows, with probability ``1 - exp(-t/T1)``.
+* **Dephasing** — split into a *quasi-static* component (a per-trajectory,
+  per-qubit frequency detuning applied as a coherent RZ over elapsed time —
+  this is the part dynamical-decoupling pulses genuinely refocus) and a
+  *Markovian* component (stochastic Z flips, irrefocusable).
+* **Readout errors** — per-qubit confusion matrices applied to the final
+  distribution (:mod:`repro.simulation.readout`).
+
+Averaging ``num_trajectories`` pure-state runs converges to the
+density-matrix result at statevector cost — this plays the role Qiskit
+Aer's noisy FakeBackends play in the paper's evaluation (§8.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import gate_matrix
+from .noise import NoiseModel
+from .readout import apply_readout_noise_probs
+from .statevector import apply_gate, apply_matrix, sample_counts, zero_state
+
+__all__ = ["NoisySimulator", "NoisyResult", "QUASI_STATIC_FRACTION"]
+
+_PAULIS = {
+    "x": gate_matrix("x"),
+    "y": gate_matrix("y"),
+    "z": gate_matrix("z"),
+}
+
+_PROJECTORS = (
+    np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex),
+    np.array([[0.0, 0.0], [0.0, 1.0]], dtype=complex),
+)
+
+#: Fraction of pure dephasing attributed to quasi-static (refocusable)
+#: low-frequency noise; the remainder is Markovian. Superconducting qubits
+#: are dominated by 1/f flux noise, hence the high default.
+QUASI_STATIC_FRACTION = 0.75
+
+
+@dataclass
+class NoisyResult:
+    """Outcome of a noisy execution."""
+
+    counts: dict[str, int]
+    probabilities: np.ndarray
+    shots: int
+    num_qubits: int
+    num_trajectories: int
+
+
+class NoisySimulator:
+    """Trajectory-averaged noisy simulator for a given :class:`NoiseModel`."""
+
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        *,
+        num_trajectories: int = 24,
+        seed: int | None = None,
+        include_idle_noise: bool = True,
+        quasi_static_fraction: float = QUASI_STATIC_FRACTION,
+    ) -> None:
+        if num_trajectories < 1:
+            raise ValueError("num_trajectories must be >= 1")
+        if not 0.0 <= quasi_static_fraction <= 1.0:
+            raise ValueError("quasi_static_fraction must be in [0, 1]")
+        self.noise_model = noise_model
+        self.num_trajectories = num_trajectories
+        self.include_idle_noise = include_idle_noise
+        self.quasi_static_fraction = quasi_static_fraction
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: Circuit,
+        shots: int = 1024,
+        rng: np.random.Generator | None = None,
+    ) -> NoisyResult:
+        """Execute ``circuit`` with noise; returns counts over all qubits.
+
+        The circuit's qubit indices must be physical qubits of the noise
+        model (i.e. the circuit is already transpiled, or the model is as
+        wide as the logical circuit).
+        """
+        if circuit.num_qubits > self.noise_model.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits, backend has "
+                f"{self.noise_model.num_qubits}"
+            )
+        rng = rng or self._rng
+        probs = self.noisy_probabilities(circuit, rng=rng)
+        counts = sample_counts(probs, shots, rng, circuit.num_qubits)
+        return NoisyResult(
+            counts=counts,
+            probabilities=probs,
+            shots=shots,
+            num_qubits=circuit.num_qubits,
+            num_trajectories=self.num_trajectories,
+        )
+
+    def noisy_probabilities(
+        self, circuit: Circuit, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Trajectory-averaged outcome distribution including readout noise."""
+        rng = rng or self._rng
+        n = circuit.num_qubits
+        timeline = self._build_timeline(circuit)
+        acc = np.zeros(2**n)
+        for _ in range(self.num_trajectories):
+            state = self._run_trajectory(circuit, timeline, rng)
+            acc += np.abs(state) ** 2
+        acc /= self.num_trajectories
+        return apply_readout_noise_probs(acc, self.noise_model, n)
+
+    # ------------------------------------------------------------------
+    def _build_timeline(self, circuit: Circuit) -> list[tuple[int, float, float]]:
+        """Per-op (op_index, start_ns, duration_ns) via a local ASAP pass."""
+        nm = self.noise_model
+        finish = [0.0] * circuit.num_qubits
+        timeline: list[tuple[int, float, float]] = []
+        for idx, g in enumerate(circuit.ops):
+            if g.name == "barrier":
+                wires = g.qubits if g.qubits else tuple(range(circuit.num_qubits))
+                sync = max((finish[q] for q in wires), default=0.0)
+                for q in wires:
+                    finish[q] = sync
+                timeline.append((idx, sync, 0.0))
+                continue
+            if g.name == "delay":
+                q = g.qubits[0]
+                timeline.append((idx, finish[q], g.params[0]))
+                finish[q] += g.params[0]
+                continue
+            if g.name in ("measure", "reset", "project"):
+                dur = nm.readout_duration_ns
+            elif g.is_unitary:
+                dur = nm.gate_noise(g.name, g.qubits).duration_ns
+            else:
+                dur = 0.0
+            start = max(finish[q] for q in g.qubits)
+            timeline.append((idx, start, dur))
+            for q in g.qubits:
+                finish[q] = start + dur
+        return timeline
+
+    def _sample_detunings(
+        self, num_qubits: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-trajectory quasi-static angular detunings (rad/ns)."""
+        nm = self.noise_model
+        sigmas = np.empty(num_qubits)
+        for q in range(num_qubits):
+            qn = nm.qubits[q]
+            inv_tphi_us = max(1e-9, 1.0 / qn.t2_us - 0.5 / qn.t1_us)
+            tphi_ns = 1000.0 / inv_tphi_us
+            # Gaussian quasi-static: coherence e^{-sigma^2 t^2 / 2}; match
+            # e^{-t/Tphi} at t = Tphi => sigma = sqrt(2)/Tphi.
+            sigmas[q] = math.sqrt(2.0) / tphi_ns * self.quasi_static_fraction
+        return rng.normal(0.0, 1.0, num_qubits) * sigmas
+
+    def _run_trajectory(
+        self,
+        circuit: Circuit,
+        timeline: list[tuple[int, float, float]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n = circuit.num_qubits
+        state = zero_state(n)
+        nm = self.noise_model
+        detuning = self._sample_detunings(n, rng)
+        last_end = [0.0] * n
+        ops = circuit.ops
+
+        markov_frac = 1.0 - self.quasi_static_fraction
+
+        def decohere_window(state: np.ndarray, q: int, dt_ns: float) -> np.ndarray:
+            if dt_ns <= 0.0:
+                return state
+            # Coherent quasi-static dephasing (refocusable by DD pulses).
+            phi = detuning[q] * dt_ns
+            if abs(phi) > 1e-12:
+                state = apply_matrix(
+                    state, gate_matrix("rz", phi), (q,), n
+                )
+            p_ad, p_pd = nm.decoherence_probs(q, dt_ns)
+            r = rng.random()
+            # Stochastic amplitude damping, Pauli-twirled.
+            p_x = p_ad / 4.0
+            p_y = p_ad / 4.0
+            p_z = p_ad / 4.0 + markov_frac * p_pd / 2.0
+            if r < p_x:
+                return apply_matrix(state, _PAULIS["x"], (q,), n)
+            if r < p_x + p_y:
+                return apply_matrix(state, _PAULIS["y"], (q,), n)
+            if r < p_x + p_y + p_z:
+                return apply_matrix(state, _PAULIS["z"], (q,), n)
+            return state
+
+        for idx, start, dur in timeline:
+            g = ops[idx]
+            if g.name == "barrier":
+                continue
+            # Idle decoherence on each involved qubit since its last activity.
+            if self.include_idle_noise:
+                for q in g.qubits:
+                    gap = start - last_end[q]
+                    if gap > 0.0:
+                        state = decohere_window(state, q, gap)
+            if g.is_unitary:
+                state = apply_gate(state, g, n)
+                gn = nm.gate_noise(g.name, g.qubits)
+                if gn.error > 0.0 and rng.random() < gn.error:
+                    victim = g.qubits[int(rng.integers(len(g.qubits)))]
+                    pauli = ("x", "y", "z")[int(rng.integers(3))]
+                    state = apply_matrix(state, _PAULIS[pauli], (victim,), n)
+            elif g.name == "project":
+                proj = _PROJECTORS[int(g.params[0])]
+                state = apply_matrix(state, proj, g.qubits, n)
+            # Decoherence over the op duration itself (gates, delays, readout).
+            if dur > 0.0:
+                for q in g.qubits:
+                    state = decohere_window(state, q, dur)
+            for q in g.qubits:
+                last_end[q] = start + dur
+        return state

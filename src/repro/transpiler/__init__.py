@@ -1,0 +1,34 @@
+"""Transpiler: basis decomposition, layout, routing, scheduling."""
+
+from .decompose import (
+    decompose_circuit,
+    decompose_to_basis,
+    fuse_1q_runs,
+    u_to_basis_ops,
+    zyz_angles,
+)
+from .layout import Layout, linear_path_layout, noise_aware_layout, trivial_layout
+from .routing import RoutedCircuit, distance_matrix, route
+from .scheduling import Schedule, ScheduledOp, schedule_circuit
+from .transpile import Target, TranspileResult, transpile
+
+__all__ = [
+    "decompose_circuit",
+    "decompose_to_basis",
+    "fuse_1q_runs",
+    "u_to_basis_ops",
+    "zyz_angles",
+    "Layout",
+    "linear_path_layout",
+    "noise_aware_layout",
+    "trivial_layout",
+    "RoutedCircuit",
+    "distance_matrix",
+    "route",
+    "Schedule",
+    "ScheduledOp",
+    "schedule_circuit",
+    "Target",
+    "TranspileResult",
+    "transpile",
+]

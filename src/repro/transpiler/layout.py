@@ -1,0 +1,249 @@
+"""Initial layout selection: mapping logical to physical qubits.
+
+Two policies:
+
+* ``trivial`` — identity mapping (logical i -> physical i).
+* ``noise_aware`` — greedy expansion over the coupling graph choosing the
+  connected physical region with the best combined link/readout quality,
+  then assigning the most interaction-heavy logical qubits to the
+  best-connected physical seats. This mirrors what noise-adaptive mappers
+  do and is the default for all experiments.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..simulation.noise import NoiseModel
+
+__all__ = ["Layout", "trivial_layout", "noise_aware_layout", "linear_path_layout"]
+
+
+class Layout:
+    """Bijective logical->physical mapping for the used qubits."""
+
+    def __init__(self, mapping: dict[int, int], num_physical: int) -> None:
+        if len(set(mapping.values())) != len(mapping):
+            raise ValueError("layout must be injective")
+        for p in mapping.values():
+            if not 0 <= p < num_physical:
+                raise ValueError(f"physical qubit {p} out of range")
+        self.logical_to_physical = dict(mapping)
+        self.num_physical = num_physical
+
+    def physical(self, logical: int) -> int:
+        return self.logical_to_physical[logical]
+
+    def inverse(self) -> dict[int, int]:
+        return {p: l for l, p in self.logical_to_physical.items()}
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Remap ``circuit`` onto the physical register."""
+        return circuit.remap(self.logical_to_physical, self.num_physical)
+
+    def __repr__(self) -> str:
+        return f"Layout({self.logical_to_physical})"
+
+
+def trivial_layout(circuit: Circuit, num_physical: int) -> Layout:
+    if circuit.num_qubits > num_physical:
+        raise ValueError(
+            f"circuit needs {circuit.num_qubits} qubits, device has {num_physical}"
+        )
+    return Layout({q: q for q in range(circuit.num_qubits)}, num_physical)
+
+
+def _edge_quality(noise_model: NoiseModel, a: int, b: int) -> float:
+    """Quality score of a physical link: survival of one CX + readouts."""
+    gn = noise_model.gate_noise("cx", (a, b))
+    qa, qb = noise_model.qubits[a], noise_model.qubits[b]
+    return (1.0 - gn.error) * (1.0 - 0.5 * (qa.readout_error + qb.readout_error))
+
+
+def _interaction_path(circuit: Circuit) -> list[int] | None:
+    """If the 2q-interaction graph is a simple path (or ring), return the
+    logical qubits in path order; else ``None``.
+
+    Rings are opened at their weakest (least used) edge. Chain-structured
+    workloads (GHZ ladders, linear-entanglement ansatze, QAOA rings, adders)
+    dominate real suites, and mapping them along a physical path eliminates
+    nearly all routing — mirroring what production layout passes achieve.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(circuit.num_qubits))
+    weights: dict[tuple[int, int], int] = {}
+    for gate in circuit.ops:
+        if gate.is_unitary and gate.num_qubits == 2:
+            e = (min(gate.qubits), max(gate.qubits))
+            weights[e] = weights.get(e, 0) + 1
+            g.add_edge(*e)
+    if g.number_of_edges() == 0 or not nx.is_connected(g):
+        return None
+    degrees = dict(g.degree())
+    if max(degrees.values()) > 2:
+        return None
+    ends = [q for q, d in degrees.items() if d == 1]
+    if len(ends) == 0:  # ring: drop the least-used edge
+        weakest = min(weights, key=weights.get)
+        g.remove_edge(*weakest)
+        ends = [q for q, d in g.degree() if d == 1]
+    if len(ends) != 2:
+        return None
+    path = [ends[0]]
+    prev = None
+    while len(path) < circuit.num_qubits:
+        nbrs = [x for x in g.neighbors(path[-1]) if x != prev]
+        if not nbrs:
+            return None
+        prev = path[-1]
+        path.append(nbrs[0])
+    return path
+
+
+def _best_physical_path(
+    graph: nx.Graph,
+    length: int,
+    quality: dict[tuple[int, int], float],
+) -> list[int] | None:
+    """Greedy DFS for a high-quality simple path of ``length`` nodes."""
+    def extend(path: list[int], seen: set[int]) -> list[int] | None:
+        if len(path) == length:
+            return path
+        nbrs = sorted(
+            (n for n in graph.neighbors(path[-1]) if n not in seen),
+            key=lambda n: -quality.get((min(path[-1], n), max(path[-1], n)), 0.0),
+        )
+        for nb in nbrs:
+            seen.add(nb)
+            result = extend(path + [nb], seen)
+            if result is not None:
+                return result
+            seen.remove(nb)
+        return None
+
+    # Try starts in quality order of their best incident edge.
+    starts = sorted(
+        graph.nodes(),
+        key=lambda v: -max(
+            (quality.get((min(v, n), max(v, n)), 0.0) for n in graph.neighbors(v)),
+            default=0.0,
+        ),
+    )
+    for start in starts:
+        found = extend([start], {start})
+        if found is not None:
+            return found
+    return None
+
+
+def linear_path_layout(
+    circuit: Circuit,
+    coupling: list[tuple[int, int]],
+    noise_model: NoiseModel,
+    num_physical: int,
+) -> Layout | None:
+    """Map a path-structured circuit along a physical path; ``None`` when
+    the circuit is not chain-like or no long-enough path exists."""
+    order = _interaction_path(circuit)
+    if order is None:
+        return None
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_physical))
+    graph.add_edges_from(coupling)
+    quality = {
+        (min(a, b), max(a, b)): _edge_quality(noise_model, a, b)
+        for a, b in graph.edges()
+    }
+    path = _best_physical_path(graph, len(order), quality)
+    if path is None:
+        return None
+    mapping = {logical: path[i] for i, logical in enumerate(order)}
+    # Unused logical qubits (no 2q interactions) take any free seats.
+    free = [p for p in range(num_physical) if p not in set(path)]
+    for q in range(circuit.num_qubits):
+        if q not in mapping:
+            mapping[q] = free.pop()
+    return Layout(mapping, num_physical)
+
+
+def noise_aware_layout(
+    circuit: Circuit,
+    coupling: list[tuple[int, int]],
+    noise_model: NoiseModel,
+    num_physical: int,
+) -> Layout:
+    """Greedy best-region layout.
+
+    1. Seed at the best edge; grow a connected region of the circuit's
+       width, always adding the neighbouring physical qubit with the best
+       incident-link quality.
+    2. Assign logical qubits (sorted by 2q-interaction degree) to region
+       seats (sorted by internal connectivity then quality).
+    """
+    n_logical = circuit.num_qubits
+    if n_logical > num_physical:
+        raise ValueError(
+            f"circuit needs {n_logical} qubits, device has {num_physical}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_physical))
+    graph.add_edges_from(coupling)
+    if n_logical == num_physical and graph.number_of_edges() == 0:
+        return trivial_layout(circuit, num_physical)
+
+    quality = {
+        (min(a, b), max(a, b)): _edge_quality(noise_model, a, b)
+        for a, b in graph.edges()
+    }
+
+    if quality:
+        seed_edge = max(quality, key=quality.get)
+        region = {seed_edge[0], seed_edge[1]}
+    else:
+        region = {0}
+    while len(region) < n_logical:
+        best_node, best_score = None, -1.0
+        for node in region:
+            for nb in graph.neighbors(node):
+                if nb in region:
+                    continue
+                score = max(
+                    quality.get((min(nb, x), max(nb, x)), 0.0)
+                    for x in region
+                    if graph.has_edge(nb, x)
+                )
+                if score > best_score:
+                    best_node, best_score = nb, score
+        if best_node is None:  # disconnected graph: take any free qubit
+            free = [q for q in range(num_physical) if q not in region]
+            if not free:
+                break
+            best_node = free[0]
+        region.add(best_node)
+
+    # Rank physical seats: connectivity within the region, then quality.
+    seats = sorted(
+        region,
+        key=lambda p: (
+            -sum(1 for nb in graph.neighbors(p) if nb in region),
+            -max(
+                (
+                    quality.get((min(p, nb), max(p, nb)), 0.0)
+                    for nb in graph.neighbors(p)
+                    if nb in region
+                ),
+                default=0.0,
+            ),
+        ),
+    )
+    # Rank logical qubits by 2q-gate participation.
+    degree = np.zeros(n_logical)
+    for g in circuit.ops:
+        if g.is_unitary and g.num_qubits == 2:
+            degree[g.qubits[0]] += 1
+            degree[g.qubits[1]] += 1
+    order = np.argsort(-degree, kind="stable")
+    mapping = {int(order[i]): int(seats[i]) for i in range(n_logical)}
+    return Layout(mapping, num_physical)

@@ -1,0 +1,77 @@
+"""ASAP scheduling: per-gate start times and total circuit duration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from ..simulation.noise import NoiseModel
+
+__all__ = ["ScheduledOp", "Schedule", "schedule_circuit"]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One op with resolved timing."""
+
+    index: int
+    name: str
+    qubits: tuple[int, ...]
+    start_ns: float
+    duration_ns: float
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+
+@dataclass
+class Schedule:
+    """ASAP schedule of a circuit against a device's gate durations."""
+
+    ops: list[ScheduledOp]
+    duration_ns: float
+    qubit_busy_ns: dict[int, float]
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_ns / 1000.0
+
+
+def schedule_circuit(circuit: Circuit, noise_model: NoiseModel) -> Schedule:
+    """Assign ASAP start times using the noise model's durations.
+
+    Also accumulates per-qubit busy time, used to quantify idle windows for
+    dynamical-decoupling insertion and decoherence estimates.
+    """
+    finish = [0.0] * circuit.num_qubits
+    busy = {q: 0.0 for q in range(circuit.num_qubits)}
+    ops: list[ScheduledOp] = []
+    for idx, g in enumerate(circuit.ops):
+        if g.name == "barrier":
+            wires = g.qubits if g.qubits else tuple(range(circuit.num_qubits))
+            sync = max((finish[q] for q in wires), default=0.0)
+            for q in wires:
+                finish[q] = sync
+            continue
+        if g.name == "delay":
+            q = g.qubits[0]
+            ops.append(ScheduledOp(idx, "delay", g.qubits, finish[q], g.params[0]))
+            finish[q] += g.params[0]
+            continue
+        if g.name in ("measure", "reset"):
+            dur = noise_model.readout_duration_ns
+        elif g.is_unitary:
+            dur = noise_model.gate_noise(g.name, g.qubits).duration_ns
+        else:
+            dur = 0.0
+        start = max(finish[q] for q in g.qubits)
+        ops.append(ScheduledOp(idx, g.name, g.qubits, start, dur))
+        for q in g.qubits:
+            finish[q] = start + dur
+            busy[q] += dur
+    return Schedule(
+        ops=ops,
+        duration_ns=max(finish, default=0.0),
+        qubit_busy_ns=busy,
+    )

@@ -1,0 +1,113 @@
+"""Top-level transpile entry point (§2.2's compilation stage).
+
+Pipeline: basis decomposition -> initial layout -> SWAP routing ->
+re-decomposition (swaps) -> 1q-run fusion -> ASAP schedule. The result
+carries everything downstream consumers need: the physical circuit, the
+layout, swap overhead, and the scheduled duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from ..circuits.metrics import CircuitMetrics, compute_metrics
+from ..simulation.noise import NoiseModel
+from .decompose import decompose_circuit, fuse_1q_runs
+from .layout import Layout, linear_path_layout, noise_aware_layout, trivial_layout
+from .routing import route
+from .scheduling import Schedule, schedule_circuit
+
+__all__ = ["TranspileResult", "transpile", "Target"]
+
+
+@dataclass(frozen=True)
+class Target:
+    """Device description the transpiler compiles against.
+
+    Built from a :class:`~repro.backends.qpu.QPU`, a template QPU, or
+    assembled by hand in tests.
+    """
+
+    num_qubits: int
+    coupling: tuple[tuple[int, int], ...]
+    basis_gates: tuple[str, ...]
+    noise_model: NoiseModel
+
+    @classmethod
+    def from_backend(cls, backend) -> "Target":
+        """Accepts any object with num_qubits/coupling/basis_gates/noise_model."""
+        return cls(
+            num_qubits=backend.num_qubits,
+            coupling=tuple(tuple(e) for e in backend.coupling),
+            basis_gates=tuple(backend.basis_gates),
+            noise_model=backend.noise_model,
+        )
+
+
+@dataclass
+class TranspileResult:
+    """Physical circuit plus compilation metadata."""
+
+    circuit: Circuit
+    initial_mapping: dict[int, int]
+    final_mapping: dict[int, int]
+    num_swaps: int
+    schedule: Schedule
+    metrics: CircuitMetrics
+
+    @property
+    def duration_ns(self) -> float:
+        return self.schedule.duration_ns
+
+
+def transpile(
+    circuit: Circuit,
+    target: Target,
+    *,
+    layout_method: str = "noise_aware",
+    optimize_1q: bool = True,
+) -> TranspileResult:
+    """Compile ``circuit`` for ``target``.
+
+    Raises ``ValueError`` when the circuit is wider than the device.
+    """
+    if circuit.num_qubits > target.num_qubits:
+        raise ValueError(
+            f"{circuit.num_qubits}-qubit circuit does not fit "
+            f"{target.num_qubits}-qubit target"
+        )
+    basis = decompose_circuit(circuit)
+    if layout_method == "trivial":
+        layout = trivial_layout(basis, target.num_qubits)
+    elif layout_method == "noise_aware":
+        # Chain-structured circuits map along a physical path (near-zero
+        # routing); everything else gets the greedy best-region layout.
+        layout = linear_path_layout(
+            basis, list(target.coupling), target.noise_model, target.num_qubits
+        )
+        if layout is None:
+            layout = noise_aware_layout(
+                basis, list(target.coupling), target.noise_model, target.num_qubits
+            )
+    else:
+        raise ValueError(f"unknown layout method {layout_method!r}")
+
+    routed = route(
+        basis,
+        list(target.coupling),
+        target.num_qubits,
+        initial_mapping=layout.logical_to_physical,
+    )
+    physical = decompose_circuit(routed.circuit)  # expand inserted swaps
+    if optimize_1q:
+        physical = fuse_1q_runs(physical)
+    sched = schedule_circuit(physical, target.noise_model)
+    return TranspileResult(
+        circuit=physical,
+        initial_mapping=routed.initial_mapping,
+        final_mapping=routed.final_mapping,
+        num_swaps=routed.num_swaps,
+        schedule=sched,
+        metrics=compute_metrics(physical),
+    )

@@ -1,0 +1,51 @@
+"""Benchmark circuit library (MQT-Bench substitute)."""
+
+from .ghz import ghz, ghz_linear, w_state
+from .qft import qft, qft_entangled
+from .qaoa import maxcut_cost, qaoa_maxcut, qaoa_ring_maxcut, random_maxcut_graph
+from .vqe import real_amplitudes, two_local, vqe_ansatz
+from .grover import diffuser, grover, grover_oracle, mcp, mcx
+from .oracles import bernstein_vazirani, deutsch_jozsa
+from .qpe import phase_estimation, ripple_adder
+from .random_circuits import clustered_circuit, random_circuit
+from .dynamics import amplitude_estimation, tfim_trotter
+from .suite import (
+    BENCHMARKS,
+    SampledJob,
+    WorkloadSampler,
+    benchmark_names,
+    generate,
+)
+
+__all__ = [
+    "ghz",
+    "ghz_linear",
+    "w_state",
+    "qft",
+    "qft_entangled",
+    "maxcut_cost",
+    "qaoa_maxcut",
+    "qaoa_ring_maxcut",
+    "random_maxcut_graph",
+    "real_amplitudes",
+    "two_local",
+    "vqe_ansatz",
+    "diffuser",
+    "grover",
+    "grover_oracle",
+    "mcp",
+    "mcx",
+    "bernstein_vazirani",
+    "deutsch_jozsa",
+    "phase_estimation",
+    "ripple_adder",
+    "clustered_circuit",
+    "amplitude_estimation",
+    "tfim_trotter",
+    "random_circuit",
+    "BENCHMARKS",
+    "SampledJob",
+    "WorkloadSampler",
+    "benchmark_names",
+    "generate",
+]

@@ -1,0 +1,150 @@
+"""Benchmark suite catalog and workload sampler.
+
+Plays the role of the MQT Benchmark library in the paper's evaluation: a
+named catalog of parameterised circuit generators (2-130 qubits) plus a
+sampler that draws random applications the way the paper's load generator
+does — random algorithm, normally distributed width, random shot counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from .ghz import ghz, ghz_linear, w_state
+from .oracles import bernstein_vazirani, deutsch_jozsa
+from .qaoa import qaoa_maxcut
+from .qft import qft, qft_entangled
+from .qpe import phase_estimation, ripple_adder
+from .random_circuits import random_circuit
+from .vqe import real_amplitudes, two_local
+
+__all__ = ["BENCHMARKS", "generate", "benchmark_names", "WorkloadSampler", "SampledJob"]
+
+
+def _qft_measured(n: int, seed: int) -> Circuit:
+    return qft(n, measure=True)
+
+
+def _adder(n: int, seed: int) -> Circuit:
+    bits = max(1, (n - 2) // 2)
+    return ripple_adder(bits)
+
+
+def _qpe(n: int, seed: int) -> Circuit:
+    return phase_estimation(max(1, n - 1))
+
+
+#: name -> (generator(num_qubits, seed) -> Circuit, min_qubits, max_qubits)
+BENCHMARKS: dict[str, tuple[Callable[[int, int], Circuit], int, int]] = {
+    "ghz": (lambda n, s: ghz(n), 2, 130),
+    "ghz_linear": (lambda n, s: ghz_linear(n), 2, 130),
+    "wstate": (lambda n, s: w_state(n), 2, 130),
+    "qft": (_qft_measured, 2, 130),
+    "qft_entangled": (lambda n, s: qft_entangled(n), 2, 130),
+    "qaoa": (lambda n, s: qaoa_maxcut(n, p_layers=1, seed=s), 2, 130),
+    "qaoa_deep": (lambda n, s: qaoa_maxcut(n, p_layers=3, seed=s), 2, 130),
+    "vqe_real_amplitudes": (lambda n, s: real_amplitudes(n, reps=2, seed=s), 2, 130),
+    "vqe_two_local": (lambda n, s: two_local(n, reps=1, seed=s), 2, 60),
+    "bv": (lambda n, s: bernstein_vazirani(n), 1, 130),
+    "dj": (lambda n, s: deutsch_jozsa(n, seed=s), 1, 130),
+    "qpe": (_qpe, 2, 40),
+    "adder": (_adder, 4, 130),
+    "random": (lambda n, s: random_circuit(n, depth=max(2, n // 2), seed=s), 1, 130),
+}
+
+# Grover is exponential-size; only offered at small widths.
+from .grover import grover  # noqa: E402
+
+BENCHMARKS["grover"] = (lambda n, s: grover(n), 2, 8)
+
+from .dynamics import amplitude_estimation, tfim_trotter  # noqa: E402
+
+BENCHMARKS["tfim"] = (lambda n, s: tfim_trotter(n, steps=2), 2, 130)
+BENCHMARKS["amplitude_estimation"] = (
+    lambda n, s: amplitude_estimation(n, grover_power=1), 2, 8
+)
+
+
+def benchmark_names() -> list[str]:
+    return sorted(BENCHMARKS)
+
+
+def generate(name: str, num_qubits: int, seed: int = 0) -> Circuit:
+    """Instantiate benchmark ``name`` at ``num_qubits`` qubits."""
+    if name not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; see benchmark_names()")
+    fn, lo, hi = BENCHMARKS[name]
+    if not lo <= num_qubits <= hi:
+        raise ValueError(
+            f"benchmark {name!r} supports {lo}..{hi} qubits, got {num_qubits}"
+        )
+    circ = fn(num_qubits, seed)
+    circ.metadata.setdefault("benchmark", name)
+    return circ
+
+
+@dataclass(frozen=True)
+class SampledJob:
+    """One synthetic application drawn by the sampler."""
+
+    circuit: Circuit
+    shots: int
+    benchmark: str
+    uses_mitigation: bool
+
+
+class WorkloadSampler:
+    """Draws random applications mirroring the paper's load generator (§8.2).
+
+    Widths follow a (truncated) normal distribution, shots are drawn
+    log-uniformly from {1k..20k}, and a configurable fraction of jobs
+    request error mitigation (50 % on average in the paper).
+    """
+
+    def __init__(
+        self,
+        *,
+        mean_qubits: float = 12.0,
+        std_qubits: float = 6.0,
+        min_qubits: int = 2,
+        max_qubits: int = 130,
+        mitigation_fraction: float = 0.5,
+        benchmarks: list[str] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.mean_qubits = mean_qubits
+        self.std_qubits = std_qubits
+        self.min_qubits = min_qubits
+        self.max_qubits = max_qubits
+        self.mitigation_fraction = mitigation_fraction
+        self.benchmarks = benchmarks or [
+            n
+            for n in benchmark_names()
+            if n not in ("grover", "amplitude_estimation")
+        ]
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    def sample(self) -> SampledJob:
+        """Draw one application."""
+        rng = self._rng
+        name = self.benchmarks[int(rng.integers(len(self.benchmarks)))]
+        _, lo, hi = BENCHMARKS[name]
+        lo = max(lo, self.min_qubits)
+        hi = min(hi, self.max_qubits)
+        width = int(round(rng.normal(self.mean_qubits, self.std_qubits)))
+        width = int(min(hi, max(lo, width)))
+        self._counter += 1
+        circ = generate(name, width, seed=self._counter)
+        shots = int(2 ** rng.uniform(10, 14.3))  # ~1k .. ~20k
+        uses_mit = bool(rng.random() < self.mitigation_fraction)
+        return SampledJob(
+            circuit=circ, shots=shots, benchmark=name, uses_mitigation=uses_mit
+        )
+
+    def sample_many(self, count: int) -> list[SampledJob]:
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,239 @@
+"""Unit tests for the circuit IR (gates, circuit container, DAG, metrics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    GATE_SPECS,
+    Circuit,
+    CircuitMetrics,
+    Gate,
+    circuit_to_dag,
+    compute_metrics,
+    dag_layers,
+    dag_to_circuit,
+    gate_matrix,
+    inverse_gate,
+    is_parametric,
+    is_two_qubit,
+)
+
+
+class TestGates:
+    def test_all_unitary_specs_are_unitary(self):
+        for name, spec in GATE_SPECS.items():
+            if spec.matrix_fn is None:
+                continue
+            params = tuple(0.37 for _ in range(spec.num_params))
+            mat = spec.matrix(params)
+            dim = 2**spec.num_qubits
+            assert mat.shape == (dim, dim)
+            assert np.allclose(mat @ mat.conj().T, np.eye(dim), atol=1e-10), name
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            Gate("nope", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 qubits"):
+            Gate("cx", (0,))
+
+    def test_wrong_params_rejected(self):
+        with pytest.raises(ValueError, match="params"):
+            Gate("rx", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("cx", (1, 1))
+
+    def test_inverse_self_inverse(self):
+        g = Gate("h", (0,))
+        assert inverse_gate(g) == g
+
+    def test_inverse_named(self):
+        assert inverse_gate(Gate("s", (2,))).name == "sdg"
+        assert inverse_gate(Gate("tdg", (0,))).name == "t"
+
+    def test_inverse_parametric_negates(self):
+        g = Gate("rz", (0,), (0.7,))
+        inv = inverse_gate(g)
+        assert inv.params == (-0.7,)
+        assert np.allclose(g.matrix() @ inv.matrix(), np.eye(2), atol=1e-12)
+
+    def test_inverse_u_gate(self):
+        g = Gate("u", (0,), (0.3, 0.5, 0.9))
+        inv = inverse_gate(g)
+        assert np.allclose(g.matrix() @ inv.matrix(), np.eye(2), atol=1e-12)
+
+    def test_inverse_non_unitary_raises(self):
+        with pytest.raises(ValueError, match="non-unitary"):
+            inverse_gate(Gate("measure", (0,)))
+
+    def test_is_two_qubit(self):
+        assert is_two_qubit("cx") and is_two_qubit("rzz")
+        assert not is_two_qubit("h") and not is_two_qubit("measure")
+
+    def test_is_parametric(self):
+        assert is_parametric("rx") and not is_parametric("x")
+
+    def test_remap(self):
+        g = Gate("cx", (0, 1)).remap({0: 5, 1: 3})
+        assert g.qubits == (5, 3)
+
+    def test_cx_matrix_convention(self):
+        # |10> (control=1 on qubit 0... convention: first listed qubit is
+        # control; matrix rows indexed with first qubit as the high bit.
+        cx = gate_matrix("cx")
+        assert cx[2, 3] == 1 and cx[3, 2] == 1  # |10><11| + |11><10|
+
+
+class TestCircuit:
+    def test_builder_chain(self):
+        c = Circuit(2).h(0).cx(0, 1).measure_all()
+        assert len(c) == 4
+        assert c.count_ops() == {"h": 1, "cx": 1, "measure": 2}
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Circuit(2).h(5)
+
+    def test_depth_linear(self):
+        c = Circuit(1).h(0).h(0).h(0)
+        assert c.depth() == 3
+
+    def test_depth_parallel(self):
+        c = Circuit(3).h(0).h(1).h(2)
+        assert c.depth() == 1
+
+    def test_depth_two_qubit_only(self):
+        c = Circuit(2).h(0).cx(0, 1).h(1).cx(0, 1)
+        assert c.depth(two_qubit_only=True) == 2
+
+    def test_barrier_synchronizes_depth(self):
+        c = Circuit(2).h(0)
+        c.barrier(0, 1)
+        c.h(1)
+        assert c.depth() == 2  # h(1) must come after the barrier sync point
+
+    def test_compose_with_mapping(self):
+        inner = Circuit(2).cx(0, 1)
+        outer = Circuit(4).compose(inner, qubits=[2, 3])
+        assert outer.ops[0].qubits == (2, 3)
+
+    def test_compose_wrong_mapping_size(self):
+        with pytest.raises(ValueError):
+            Circuit(4).compose(Circuit(2).h(0), qubits=[0])
+
+    def test_inverse_reverses_and_inverts(self):
+        c = Circuit(2).h(0).s(0).cx(0, 1)
+        inv = c.inverse()
+        names = [g.name for g in inv.ops]
+        assert names == ["cx", "sdg", "h"]
+
+    def test_inverse_roundtrip_unitary(self):
+        c = Circuit(2).h(0).t(0).cx(0, 1).rz(0.3, 1)
+        u = c.copy().compose(c.inverse()).unitary()
+        assert np.allclose(u, np.eye(4), atol=1e-10)
+
+    def test_power(self):
+        c = Circuit(1).x(0)
+        assert np.allclose(c.power(2).unitary(), np.eye(2))
+
+    def test_power_negative_raises(self):
+        with pytest.raises(ValueError):
+            Circuit(1).x(0).power(-1)
+
+    def test_remap_to_larger_register(self):
+        c = Circuit(2).cx(0, 1)
+        big = c.remap({0: 4, 1: 2}, num_qubits=6)
+        assert big.num_qubits == 6
+        assert big.ops[0].qubits == (4, 2)
+
+    def test_serialization_roundtrip(self):
+        c = Circuit(3, "test").h(0).rzz(0.5, 0, 2).measure(1)
+        c.metadata["tag"] = "x"
+        c2 = Circuit.from_dict(c.to_dict())
+        assert c2 == c
+        assert c2.metadata["tag"] == "x"
+
+    def test_without_measurements(self):
+        c = Circuit(2).h(0).measure_all()
+        assert len(c.without_measurements()) == 1
+
+    def test_measured_qubits_order(self):
+        c = Circuit(3).measure(2).measure(0)
+        assert c.measured_qubits == (2, 0)
+
+    def test_qasm_like_dump(self):
+        text = Circuit(2).h(0).cx(0, 1).qasm_like()
+        assert "qreg q[2];" in text and "cx q[0],q[1];" in text
+
+    def test_project_builder(self):
+        c = Circuit(1).project(1, 0)
+        assert c.ops[0].name == "project"
+        with pytest.raises(ValueError):
+            Circuit(1).project(2, 0)
+
+
+class TestDAG:
+    def test_dag_dependency_count(self):
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        dag = circuit_to_dag(c)
+        assert len(dag) == 6
+        assert dag.longest_path_length() == 4  # h -> cx -> cx -> measure
+
+    def test_dag_layers_parallelism(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3).cx(0, 1).cx(2, 3)
+        layers = dag_layers(circuit_to_dag(c))
+        assert len(layers) == 2
+        assert len(layers[0]) == 4 and len(layers[1]) == 2
+
+    def test_dag_roundtrip_preserves_semantics(self):
+        c = Circuit(3).h(0).cx(0, 1).rz(0.2, 2).cx(1, 2)
+        c2 = dag_to_circuit(circuit_to_dag(c))
+        assert np.allclose(c.unitary(), c2.unitary(), atol=1e-12)
+
+    def test_barrier_orders_across_wires(self):
+        c = Circuit(2).h(0)
+        c.barrier(0, 1)
+        c.h(1)
+        dag = circuit_to_dag(c)
+        gates = dag.topological_gates()
+        assert [g.name for g in gates] == ["h", "h"]
+        # The barrier creates a dependency: h(1) must follow h(0).
+        assert dag.longest_path_length() == 2
+
+
+class TestMetrics:
+    def test_basic_counts(self):
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        m = compute_metrics(c)
+        assert m.num_qubits == 3
+        assert m.num_1q_gates == 1
+        assert m.num_2q_gates == 2
+        assert m.num_measurements == 3
+
+    def test_routing_class_linear(self):
+        c = Circuit(4).cx(0, 1).cx(1, 2).cx(2, 3)
+        assert compute_metrics(c).routing_class == "linear"
+
+    def test_routing_class_dense(self):
+        c = Circuit(6)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                c.cx(i, j)
+        assert compute_metrics(c).routing_class == "dense"
+
+    def test_feature_vector_length_stable(self):
+        c = Circuit(2).cx(0, 1)
+        assert len(compute_metrics(c).feature_vector()) == 6
+
+    def test_parallelism(self):
+        c = Circuit(2).h(0).h(1)
+        assert compute_metrics(c).parallelism == pytest.approx(2.0)

@@ -1,0 +1,286 @@
+"""Cloud-simulation tests: jobs, proxy, execution model, backends, load
+generation, the simulator loop, and the imbalance study."""
+
+import numpy as np
+import pytest
+
+from repro.backends import default_fleet, get_model
+from repro.circuits import compute_metrics
+from repro.cloud import (
+    CloudSimulator,
+    ExecutionModel,
+    HybridApplication,
+    JobStatus,
+    LoadGenerator,
+    QuantumJob,
+    SimulatedQPU,
+    SimulationConfig,
+    TranspileProxy,
+    diurnal_rate,
+    simulate_queue_imbalance,
+)
+from repro.scheduler import FCFSPolicy, LeastBusyPolicy, QonductorScheduler, SchedulingTrigger
+from repro.workloads import ghz_linear, qaoa_maxcut
+
+
+def _fake_estimate(job, qpu):
+    return 0.8, 12.0
+
+
+class TestJob:
+    def test_from_circuit(self):
+        job = QuantumJob.from_circuit(ghz_linear(5), shots=2000, mitigation="rem")
+        assert job.num_qubits == 5 and job.shots == 2000
+        assert job.circuit is not None
+
+    def test_drop_circuit(self):
+        job = QuantumJob.from_circuit(ghz_linear(5), keep_circuit=False)
+        assert job.circuit is None and job.metrics.num_qubits == 5
+
+    def test_lifecycle_times(self):
+        job = QuantumJob.from_circuit(ghz_linear(3))
+        job.arrival_time = 10.0
+        assert job.completion_time is None
+        job.start_time, job.finish_time = 30.0, 45.0
+        assert job.waiting_time == pytest.approx(20.0)
+        assert job.completion_time == pytest.approx(35.0)
+
+    def test_unique_ids(self):
+        a = QuantumJob.from_circuit(ghz_linear(3))
+        b = QuantumJob.from_circuit(ghz_linear(3))
+        assert a.job_id != b.job_id
+
+    def test_application_wrapper(self):
+        job = QuantumJob.from_circuit(ghz_linear(3), mitigation="zne")
+        app = HybridApplication(quantum_job=job, arrival_time=5.0)
+        assert app.uses_mitigation
+        app.finish_time = 25.0
+        assert app.completion_time == pytest.approx(20.0)
+
+
+class TestProxy:
+    def test_physical_metrics_positive(self):
+        proxy = TranspileProxy()
+        model = get_model("falcon_r5_27")
+        m = compute_metrics(ghz_linear(8))
+        p2q, p1q, dur = proxy.physical_metrics(m, model)
+        assert p2q >= m.num_2q_gates and dur > 0
+
+    def test_linear_class_cheaper_than_dense(self):
+        proxy = TranspileProxy()
+        model = get_model("falcon_r5_27")
+        linear = compute_metrics(ghz_linear(10))
+        from repro.workloads import qft
+
+        dense = compute_metrics(qft(10, measure=True))
+        # Same logical 2q count comparison via inflation ratio:
+        p2q_lin, _, _ = proxy.physical_metrics(linear, model)
+        p2q_dense, _, _ = proxy.physical_metrics(dense, model)
+        infl_lin = p2q_lin / linear.num_2q_gates
+        infl_dense = p2q_dense / dense.num_2q_gates
+        assert infl_lin < infl_dense
+
+    def test_tables_cached(self):
+        proxy = TranspileProxy()
+        model = get_model("falcon_r5_7")
+        t1 = proxy.table(model, "linear")
+        t2 = proxy.table(model, "linear")
+        assert t1 is t2
+
+
+class TestExecutionModel:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return default_fleet(seed=7, names=["auckland", "algiers"])
+
+    def test_quality_ordering_preserved(self, fleet):
+        em = ExecutionModel(seed=1)
+        job = QuantumJob.from_circuit(ghz_linear(10), shots=4000)
+        good = em.expected_fidelity(job, fleet[0].calibration, fleet[0].model)
+        bad = em.expected_fidelity(job, fleet[1].calibration, fleet[1].model)
+        assert good > bad
+
+    def test_mitigation_improves_and_costs(self, fleet):
+        em = ExecutionModel(seed=1)
+        plain = QuantumJob.from_circuit(ghz_linear(10), shots=4000)
+        mit = QuantumJob.from_circuit(
+            ghz_linear(10), shots=4000, mitigation="dd+zne+rem"
+        )
+        rng = np.random.default_rng(0)
+        r_plain = em.execute(plain, fleet[1].calibration, fleet[1].model, rng)
+        r_mit = em.execute(mit, fleet[1].calibration, fleet[1].model, rng)
+        assert (
+            em.expected_fidelity(mit, fleet[1].calibration, fleet[1].model)
+            > em.expected_fidelity(plain, fleet[1].calibration, fleet[1].model)
+        )
+        assert r_mit.quantum_seconds > r_plain.quantum_seconds  # 3x shots
+        assert r_mit.classical_post_seconds > r_plain.classical_post_seconds
+
+    def test_execute_fields_valid(self, fleet):
+        em = ExecutionModel(seed=2)
+        job = QuantumJob.from_circuit(qaoa_maxcut(8, seed=1), shots=2000)
+        rec = em.execute(job, fleet[0].calibration, fleet[0].model)
+        assert 0.0 <= rec.fidelity <= 1.0
+        assert rec.quantum_seconds > 0
+        assert rec.total_classical_seconds >= 0
+
+    def test_unknown_mitigation(self, fleet):
+        em = ExecutionModel(seed=1)
+        job = QuantumJob.from_circuit(ghz_linear(4), mitigation="rem")
+        job.mitigation = "bogus"
+        with pytest.raises(KeyError):
+            em.execute(job, fleet[0].calibration, fleet[0].model)
+
+    def test_model_matches_trajectory_sim_smallscale(self, fleet):
+        """The aggregate model must land near real noisy simulation."""
+        from repro.simulation import (
+            NoisySimulator,
+            hellinger_fidelity,
+            ideal_probabilities,
+        )
+        from repro.transpiler import Target, transpile
+
+        em = ExecutionModel(seed=3)
+        qpu = fleet[0]
+        circ = ghz_linear(6)
+        job = QuantumJob.from_circuit(circ, shots=4000)
+        model_fid = em.expected_fidelity(job, qpu.calibration, qpu.model)
+
+        res = transpile(circ, Target.from_backend(qpu))
+        used = sorted(res.circuit.used_qubits())
+        dense = {p: i for i, p in enumerate(used)}
+        compact = res.circuit.remap(dense, len(used))
+        sim = NoisySimulator(qpu.noise_model, num_trajectories=60, seed=4)
+        probs = sim.noisy_probabilities(compact)
+        fm = res.final_mapping
+        marg = np.zeros(2**6)
+        idx = np.arange(2 ** len(used))
+        logical = np.zeros_like(idx)
+        for q in range(6):
+            logical |= ((idx >> dense[fm[q]]) & 1) << q
+        np.add.at(marg, logical, probs)
+        real_fid = hellinger_fidelity(marg, ideal_probabilities(circ))
+        assert abs(model_fid - real_fid) < 0.2
+
+
+class TestSimulatedQPU:
+    def test_sequential_execution_queues(self):
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        backend = SimulatedQPU(qpu)
+        em = ExecutionModel(seed=1)
+        rng = np.random.default_rng(0)
+        j1 = QuantumJob.from_circuit(ghz_linear(4), shots=4000, keep_circuit=False)
+        j2 = QuantumJob.from_circuit(ghz_linear(4), shots=4000, keep_circuit=False)
+        backend.execute(j1, 0.0, em, rng)
+        backend.execute(j2, 0.0, em, rng)
+        assert j2.start_time == pytest.approx(j1.finish_time)
+        assert backend.jobs_executed == 2
+        assert backend.busy_seconds > 0
+
+    def test_waiting_seconds(self):
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        backend = SimulatedQPU(qpu)
+        backend.free_at = 100.0
+        assert backend.waiting_seconds(40.0) == pytest.approx(60.0)
+        assert backend.waiting_seconds(200.0) == 0.0
+
+
+class TestLoadGenerator:
+    def test_rate_approximately_honoured(self):
+        gen = LoadGenerator(mean_rate_per_hour=1200, diurnal=False, seed=1)
+        apps = gen.generate(3600.0)
+        assert 1000 < len(apps) < 1400
+
+    def test_arrivals_sorted_and_bounded(self):
+        gen = LoadGenerator(mean_rate_per_hour=600, seed=2)
+        apps = gen.generate(1800.0)
+        times = [a.arrival_time for a in apps]
+        assert times == sorted(times)
+        assert all(0 <= t < 1800.0 for t in times)
+
+    def test_mitigation_fraction(self):
+        gen = LoadGenerator(mean_rate_per_hour=600, mitigation_fraction=1.0, seed=3)
+        apps = gen.generate(600.0)
+        assert all(a.uses_mitigation for a in apps)
+
+    def test_diurnal_rate_band(self):
+        rates = [diurnal_rate(h) for h in range(24)]
+        assert min(rates) >= 1100 - 1 and max(rates) <= 2050 + 1
+
+
+class TestCloudSimulator:
+    def _run(self, policy, apps, duration=600.0, trigger=None):
+        fleet = default_fleet(seed=7, names=["auckland", "algiers", "lagos"])
+        sim = CloudSimulator(
+            fleet,
+            policy,
+            ExecutionModel(seed=5),
+            trigger=trigger or SchedulingTrigger(queue_limit=20, interval_seconds=60),
+            config=SimulationConfig(duration_seconds=duration, seed=5),
+        )
+        return sim.run(apps)
+
+    def test_fcfs_completes_all_jobs(self):
+        gen = LoadGenerator(mean_rate_per_hour=300, max_qubits=27, seed=4)
+        apps = gen.generate(600.0)
+        metrics = self._run(FCFSPolicy(_fake_estimate), apps)
+        assert metrics.completed_jobs == len(apps)
+        assert metrics.mean_fidelity.mean() > 0
+
+    def test_qonductor_batches_and_completes(self):
+        gen = LoadGenerator(mean_rate_per_hour=300, max_qubits=27, seed=4)
+        apps = gen.generate(600.0)
+        policy = QonductorScheduler(_fake_estimate, seed=1, max_generations=8)
+        metrics = self._run(policy, apps)
+        assert metrics.completed_jobs == len(apps)
+        assert metrics.scheduling_cycles >= 1
+        assert metrics.scheduling_cycles < len(apps)  # batched, not per-job
+
+    def test_least_busy_spreads_load(self):
+        gen = LoadGenerator(mean_rate_per_hour=600, max_qubits=7, seed=6)
+        apps = gen.generate(600.0)
+        metrics = self._run(LeastBusyPolicy(_fake_estimate), apps)
+        busy = [v for v in metrics.per_qpu_busy_seconds.values() if v > 0]
+        assert len(busy) >= 2
+
+    def test_oversized_jobs_fail(self):
+        job = QuantumJob.from_circuit(ghz_linear(100), keep_circuit=False)
+        app = HybridApplication(quantum_job=job, arrival_time=1.0)
+        metrics = self._run(FCFSPolicy(_fake_estimate), [app])
+        assert metrics.unschedulable_jobs == 1
+        assert job.status is JobStatus.FAILED
+
+    def test_metrics_series_sampled(self):
+        gen = LoadGenerator(mean_rate_per_hour=300, max_qubits=27, seed=4)
+        apps = gen.generate(600.0)
+        metrics = self._run(FCFSPolicy(_fake_estimate), apps)
+        times, utils = metrics.mean_utilization.as_arrays()
+        assert len(times) >= 3
+        assert np.all((utils >= 0) & (utils <= 1))
+
+    def test_recalibration_hook(self):
+        fleet = default_fleet(seed=7, names=["lagos"])
+        sim = CloudSimulator(
+            fleet,
+            FCFSPolicy(_fake_estimate),
+            ExecutionModel(seed=5),
+            config=SimulationConfig(
+                duration_seconds=300.0, recalibrate_every_seconds=100.0, seed=1
+            ),
+        )
+        sim.run([])
+        assert fleet[0].cycle >= 2
+
+
+class TestImbalance:
+    def test_greedy_users_create_hotspots(self):
+        fleet = default_fleet(seed=9, names=["algiers", "cairo", "hanoi", "kolkata"])
+        trace = simulate_queue_imbalance(fleet, num_days=7, seed=0)
+        ratios = [trace.max_ratio(d) for d in range(7)]
+        assert max(ratios) > 10.0  # order-of-magnitude imbalance
+
+    def test_trace_shape(self):
+        fleet = default_fleet(seed=9, names=["lagos", "nairobi"])
+        trace = simulate_queue_imbalance(fleet, num_days=3, seed=1)
+        assert trace.queue_sizes.shape == (3, 2)
+        assert np.all(trace.queue_sizes >= 0)

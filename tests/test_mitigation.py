@@ -1,0 +1,387 @@
+"""Error-mitigation tests: each technique must (1) preserve circuit
+semantics where applicable and (2) demonstrably improve noisy fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, gate_matrix
+from repro.mitigation import (
+    CX_TWIRL_SET,
+    DD,
+    PEC,
+    REM,
+    ZNE,
+    CutPlan,
+    ExpFactory,
+    LinearFactory,
+    MitigationStack,
+    PolyFactory,
+    RichardsonFactory,
+    cut_circuit,
+    fold_gates,
+    fold_global,
+    fold_to_factor,
+    get_factory,
+    insert_dd,
+    knit,
+    pauli_twirl,
+    pec_combine_probs,
+    pec_gamma,
+    pec_sample_circuits,
+    sampling_overhead,
+    twirl_ensemble,
+    zne_expand,
+    zne_infer_probs,
+)
+from repro.simulation import (
+    NoiseModel,
+    NoisySimulator,
+    hellinger_fidelity,
+    ideal_probabilities,
+    simulate_statevector,
+)
+from repro.workloads import clustered_circuit, ghz_linear
+
+
+def _equal_up_to_phase(a, b, atol=1e-8):
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    scale = a[idx] / b[idx]
+    return np.allclose(a, scale * b, atol=atol)
+
+
+class TestFolding:
+    def test_global_fold_preserves_unitary(self):
+        c = Circuit(2).h(0).cx(0, 1).t(1)
+        folded = fold_global(c, 1)
+        assert _equal_up_to_phase(folded.unitary(), c.unitary())
+        assert len(folded.gates) == 3 * len(c.gates)
+
+    def test_gate_fold_preserves_unitary(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        folded = fold_gates(c, [1])
+        assert _equal_up_to_phase(folded.unitary(), c.unitary())
+        assert len(folded.gates) == 4
+
+    def test_fold_to_factor_scales_gate_count(self):
+        c = ghz_linear(4, measure=False)
+        n0 = len(c.gates)
+        f3 = fold_to_factor(c, 3.0)
+        assert len(f3.gates) == pytest.approx(3 * n0, abs=2)
+        f2 = fold_to_factor(c, 2.0)
+        assert n0 < len(f2.gates) < len(f3.gates)
+
+    def test_fold_invalid_factor(self):
+        with pytest.raises(ValueError):
+            fold_to_factor(Circuit(1).x(0), 0.5)
+
+    def test_fold_keeps_measurements_last(self):
+        c = ghz_linear(3, measure=True)
+        folded = fold_global(c, 1)
+        assert folded.ops[-1].name == "measure"
+
+
+class TestExtrapolation:
+    def test_linear_recovers_line(self):
+        fac = LinearFactory()
+        assert fac([1, 3, 5], [0.9, 0.7, 0.5]) == pytest.approx(1.0)
+
+    def test_richardson_exact_quadratic(self):
+        fac = RichardsonFactory()
+        xs = [1.0, 2.0, 3.0]
+        ys = [1 - 0.1 * x - 0.02 * x * x for x in xs]
+        assert fac(xs, ys) == pytest.approx(1.0, abs=1e-9)
+
+    def test_poly_factory(self):
+        fac = PolyFactory(order=2)
+        xs = [1, 2, 3, 4]
+        ys = [2 - x**2 * 0.1 for x in xs]
+        assert fac(xs, ys) == pytest.approx(2.0, abs=1e-8)
+
+    def test_exp_factory_recovers_decay(self):
+        fac = ExpFactory()
+        xs = np.array([1.0, 2.0, 3.0, 5.0])
+        ys = 0.2 + 0.7 * np.exp(-0.4 * xs)
+        assert fac(list(xs), list(ys)) == pytest.approx(0.9, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearFactory()([1.0], [0.5])
+        with pytest.raises(ValueError):
+            LinearFactory()([1, 1], [0.5, 0.6])
+        with pytest.raises(KeyError):
+            get_factory("nope")
+
+
+class TestZNE:
+    def test_expand_counts_and_scales(self):
+        c = ghz_linear(3)
+        instances = zne_expand(c, (1.0, 3.0))
+        assert len(instances) == 2
+        assert instances[0].metadata["zne_scale"] == 1.0
+        assert len(instances[1].gates) > len(instances[0].gates)
+
+    def test_expand_invalid_factor(self):
+        with pytest.raises(ValueError):
+            zne_expand(ghz_linear(3), (0.5, 1.0))
+
+    def test_infer_probs_is_distribution(self):
+        p1 = np.array([0.7, 0.3])
+        p3 = np.array([0.6, 0.4])
+        p5 = np.array([0.5, 0.5])
+        out = zne_infer_probs([1, 3, 5], [p1, p3, p5])
+        assert out.sum() == pytest.approx(1.0)
+        assert out[0] > 0.7  # extrapolates beyond the least-noisy point
+
+    def test_zne_improves_noisy_ghz(self):
+        nm = NoiseModel.uniform(4, error_2q=0.03, readout_error=0.0)
+        sim = NoisySimulator(nm, num_trajectories=120, seed=7)
+        c = ghz_linear(4)
+        ideal = ideal_probabilities(c)
+        zne = ZNE(noise_factors=(1.0, 3.0, 5.0))
+        probs = [sim.noisy_probabilities(inst) for inst in zne.apply(c)]
+        raw_fid = hellinger_fidelity(probs[0], ideal)
+        mit_fid = hellinger_fidelity(zne.inference_probs(probs), ideal)
+        assert mit_fid > raw_fid
+
+    def test_overheads(self):
+        zne = ZNE(noise_factors=(1.0, 3.0, 5.0))
+        assert zne.sampling_overhead == 3.0
+        assert zne.gate_overhead == pytest.approx(3.0)
+
+
+class TestREM:
+    def test_tensored_inversion_recovers_ideal(self):
+        nm = NoiseModel.uniform(3, readout_error=0.08)
+        c = ghz_linear(3)
+        ideal = ideal_probabilities(c)
+        from repro.simulation import apply_readout_noise_probs
+
+        noisy = apply_readout_noise_probs(ideal, nm, 3)
+        rem = REM(nm, "tensored")
+        recovered = rem.mitigate_probs(noisy, 3)
+        assert hellinger_fidelity(recovered, ideal) == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("method", ["full", "least_squares"])
+    def test_dense_methods(self, method):
+        nm = NoiseModel.uniform(2, readout_error=0.06)
+        ideal = np.array([0.5, 0.0, 0.0, 0.5])
+        from repro.simulation import apply_readout_noise_probs
+
+        noisy = apply_readout_noise_probs(ideal, nm, 2)
+        rec = REM(nm, method).mitigate_probs(noisy, 2)
+        assert hellinger_fidelity(rec, ideal) > 0.999
+
+    def test_counts_entry_point(self):
+        nm = NoiseModel.uniform(1, readout_error=0.1)
+        rec = REM(nm).mitigate_counts({"0": 900, "1": 100}, 1)
+        assert rec[0] > 0.9
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            REM(NoiseModel.uniform(1), "nope")
+
+
+class TestDD:
+    def test_insertion_only_in_long_idles(self):
+        nm = NoiseModel.uniform(3)
+        c = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 1).measure_all()
+        out = insert_dd(c, nm, sequence_type="XpXm")
+        assert out.metadata["dd_pulses_inserted"] > 0
+        assert out.count_ops().get("x", 0) >= 2
+
+    def test_unknown_sequence(self):
+        with pytest.raises(ValueError):
+            insert_dd(Circuit(1).x(0), NoiseModel.uniform(1), sequence_type="Q")
+
+    def test_dd_preserves_semantics(self):
+        nm = NoiseModel.uniform(3)
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        out = insert_dd(c, nm)
+        p1 = ideal_probabilities(c)
+        p2 = ideal_probabilities(out)
+        assert hellinger_fidelity(p1, p2) == pytest.approx(1.0, abs=1e-9)
+
+    def test_dd_improves_idle_heavy_circuit(self):
+        """DD must refocus quasi-static dephasing mechanistically."""
+        nm = NoiseModel.uniform(3, t1_us=200.0, t2_us=20.0, error_1q=1e-5,
+                                error_2q=1e-4, readout_error=0.0)
+        # A circuit with a long idle on qubit 0 between two interactions.
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).cx(1, 2).cx(1, 2).cx(0, 1).h(0)
+        c.measure(0)
+        ideal = ideal_probabilities(c)
+        plain_fid = hellinger_fidelity(
+            NoisySimulator(nm, num_trajectories=150, seed=3).noisy_probabilities(c),
+            ideal,
+        )
+        dd_circ = insert_dd(c, nm, min_idle_ns=100.0)
+        dd_fid = hellinger_fidelity(
+            NoisySimulator(nm, num_trajectories=150, seed=3).noisy_probabilities(
+                dd_circ
+            ),
+            ideal,
+        )
+        assert dd_fid > plain_fid
+
+
+class TestTwirling:
+    def test_all_sandwiches_preserve_cx(self):
+        ref = Circuit(2).cx(0, 1).unitary()
+        for pc, pt, qc, qt in CX_TWIRL_SET:
+            c = Circuit(2)
+            for name, q in ((pc, 0), (pt, 1)):
+                if name != "id":
+                    c.add(name, [q])
+            c.cx(0, 1)
+            for name, q in ((qc, 0), (qt, 1)):
+                if name != "id":
+                    c.add(name, [q])
+            assert _equal_up_to_phase(c.unitary(), ref)
+
+    def test_twirled_circuit_same_distribution(self):
+        c = ghz_linear(3, measure=False)
+        rng = np.random.default_rng(3)
+        tw = pauli_twirl(c, rng)
+        assert hellinger_fidelity(
+            ideal_probabilities(tw), ideal_probabilities(c)
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    def test_ensemble_size(self):
+        ens = twirl_ensemble(ghz_linear(3), num_instances=5, seed=1)
+        assert len(ens) == 5
+
+
+class TestPEC:
+    def test_gamma_grows_with_gates(self):
+        nm = NoiseModel.uniform(3, error_2q=0.02)
+        g1 = pec_gamma(ghz_linear(3, measure=False), nm)
+        g2 = pec_gamma(ghz_linear(3, measure=False).power(2), nm)
+        assert g2 > g1 > 1.0
+
+    def test_samples_preserve_distribution_on_ideal_sim(self):
+        nm = NoiseModel.uniform(2, error_2q=0.05)
+        c = Circuit(2).h(0).cx(0, 1)
+        samples, gamma = pec_sample_circuits(c, nm, 200, np.random.default_rng(0))
+        assert gamma > 1.0
+        assert any(s.sign < 0 for s in samples)
+
+    def test_combine_projects_to_simplex(self):
+        nm = NoiseModel.uniform(2, error_2q=0.05)
+        c = Circuit(2).h(0).cx(0, 1)
+        samples, gamma = pec_sample_circuits(c, nm, 50, np.random.default_rng(1))
+        probs = [np.abs(simulate_statevector(s.circuit)) ** 2 for s in samples]
+        out = pec_combine_probs(samples, probs, gamma)
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out >= 0)
+
+
+class TestCutting:
+    def test_qpd_channel_identity(self):
+        """The hard-coded CZ QPD must reproduce the CZ channel exactly."""
+        import itertools
+
+        def sop(k):
+            return np.kron(k, k.conj())
+
+        I2 = np.eye(2)
+        Z = gate_matrix("z")
+        S = gate_matrix("s")
+        Sdg = gate_matrix("sdg")
+        P0 = np.diag([1.0, 0.0]).astype(complex)
+        P1 = np.diag([0.0, 1.0]).astype(complex)
+        mats = {"id": I2, "z": Z, "s": S, "sdg": Sdg, "p0": P0, "p1": P1}
+        from repro.mitigation.cutting import CZ_QPD_TERMS
+
+        total = np.zeros((16, 16), dtype=complex)
+        for coeff, a, b in CZ_QPD_TERMS:
+            total += coeff * sop(np.kron(mats[a], mats[b]))
+        cz = np.diag([1, 1, 1, -1]).astype(complex)
+        assert np.allclose(total, sop(cz), atol=1e-12)
+
+    def test_exact_reconstruction_ideal(self):
+        c = clustered_circuit(6, 2, num_clusters=2, bridge_gates=1, measure=False, seed=5)
+        parts = c.metadata["clusters"]
+        plan = cut_circuit(c, parts[0], parts[1])
+        assert plan.num_variants == 10
+        pa = [np.abs(simulate_statevector(v)) ** 2 for v in plan.variants_a]
+        pb = [np.abs(simulate_statevector(v)) ** 2 for v in plan.variants_b]
+        full, _ = knit(plan, pa, pb)
+        assert hellinger_fidelity(full, ideal_probabilities(c)) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_two_cuts_reconstruction(self):
+        c = clustered_circuit(6, 2, num_clusters=2, bridge_gates=2, measure=False, seed=8)
+        parts = c.metadata["clusters"]
+        plan = cut_circuit(c, parts[0], parts[1])
+        assert plan.num_variants == 100
+        pa = [np.abs(simulate_statevector(v)) ** 2 for v in plan.variants_a]
+        pb = [np.abs(simulate_statevector(v)) ** 2 for v in plan.variants_b]
+        full, _ = knit(plan, pa, pb)
+        assert hellinger_fidelity(full, ideal_probabilities(c)) == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_non_cz_bridge_rejected(self):
+        c = Circuit(4).cx(0, 2)
+        with pytest.raises(ValueError, match="not a CZ"):
+            cut_circuit(c, [0, 1], [2, 3])
+
+    def test_partition_validation(self):
+        c = Circuit(4).cz(0, 2)
+        with pytest.raises(ValueError, match="overlap"):
+            cut_circuit(c, [0, 1], [1, 2, 3])
+        with pytest.raises(ValueError, match="cover"):
+            cut_circuit(c, [0, 1], [2])
+
+    def test_sampling_overhead(self):
+        assert sampling_overhead(1) == 9.0
+        assert sampling_overhead(2) == 81.0
+
+
+class TestStack:
+    def test_preset_validation(self):
+        with pytest.raises(KeyError):
+            MitigationStack.preset("nope")
+        with pytest.raises(ValueError):
+            MitigationStack.from_names(["nope"])
+
+    def test_overheads(self):
+        stack = MitigationStack.preset("dd+twirl+zne+rem")
+        assert stack.shot_overhead == 12.0  # 3 ZNE factors x 4 twirls
+        assert stack.classical_overhead > 1.0
+
+    def test_expand_post_process_shapes(self):
+        nm = NoiseModel.uniform(3, error_2q=0.02, readout_error=0.04)
+        stack = MitigationStack.preset("zne+rem")
+        c = ghz_linear(3)
+        plan = stack.expand(c, nm)
+        assert len(plan.instances) == 3
+        sim = NoisySimulator(nm, num_trajectories=20, seed=1)
+        probs = [sim.noisy_probabilities(i) for i in plan.instances]
+        out = stack.post_process(plan, probs, nm, 3)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_full_stack_beats_no_mitigation(self):
+        nm = NoiseModel.uniform(
+            4, error_2q=0.02, readout_error=0.04, t1_us=80, t2_us=50
+        )
+        sim = NoisySimulator(nm, num_trajectories=60, seed=3)
+        c = ghz_linear(4)
+        ideal = ideal_probabilities(c)
+
+        def run(preset):
+            stack = MitigationStack.preset(preset)
+            plan = stack.expand(c, nm)
+            probs = [sim.noisy_probabilities(i) for i in plan.instances]
+            return hellinger_fidelity(
+                stack.post_process(plan, probs, nm, 4), ideal
+            )
+
+        assert run("dd+zne+rem") > run("none") + 0.05
+
+    def test_result_count_mismatch(self):
+        nm = NoiseModel.uniform(2)
+        stack = MitigationStack.preset("zne")
+        plan = stack.expand(ghz_linear(2), nm)
+        with pytest.raises(ValueError):
+            stack.post_process(plan, [np.ones(4) / 4], nm, 2)

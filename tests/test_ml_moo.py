@@ -1,0 +1,235 @@
+"""Tests for the ML regression stack and the NSGA-II/MCDM optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KFold,
+    LinearRegression,
+    Pipeline,
+    PolynomialFeatures,
+    Ridge,
+    StandardScaler,
+    cross_val_score,
+    make_polynomial_regression,
+    mean_absolute_error,
+    r2_score,
+    root_mean_squared_error,
+    train_test_split,
+)
+from repro.moo import (
+    NSGA2,
+    Problem,
+    Termination,
+    crowding_distance,
+    fast_non_dominated_sort,
+    pareto_front_mask,
+    pseudo_weights,
+    select_by_preference,
+)
+
+
+class TestLinearModels:
+    def test_ols_exact_on_linear_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        w = np.array([2.0, -1.0, 0.5])
+        y = X @ w + 3.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, w, atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0)
+
+    def test_ridge_shrinks_towards_zero(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([5.0, -5.0]) + rng.normal(0, 0.1, 50)
+        small = Ridge(alpha=1e-6).fit(X, y)
+        big = Ridge(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(big.coef_) < np.linalg.norm(small.coef_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.ones(5), np.ones(5))
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.ones((5, 2)), np.ones(4))
+
+
+class TestFeatures:
+    def test_polynomial_feature_count(self):
+        poly = PolynomialFeatures(degree=2)
+        out = poly.fit_transform(np.ones((4, 3)))
+        assert out.shape[1] == 3 + 6  # 3 linear + C(3+1,2)=6 quadratic
+
+    def test_polynomial_values(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2).fit_transform(X)
+        assert set(np.round(out[0], 6)) == {2.0, 3.0, 4.0, 6.0, 9.0}
+
+    def test_bias_column(self):
+        out = PolynomialFeatures(degree=1, include_bias=True).fit_transform(
+            np.ones((2, 1))
+        )
+        assert np.allclose(out[:, 0], 1.0)
+
+    def test_scaler_standardizes(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(5.0, 3.0, size=(200, 2))
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_scaler_constant_column_safe(self):
+        X = np.ones((10, 1))
+        out = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(out))
+
+
+class TestMetricsAndCV:
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_mae_rmse(self):
+        assert mean_absolute_error([0, 0], [1, -1]) == pytest.approx(1.0)
+        assert root_mean_squared_error([0, 0], [3, 4]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_kfold_partitions(self):
+        folds = list(KFold(n_splits=4, seed=1).split(20))
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+
+    def test_kfold_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_train_test_split_sizes(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.3, seed=0)
+        assert len(Xte) == 3 and len(Xtr) == 7
+
+    def test_cross_val_score_on_learnable_problem(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(120, 2))
+        y = 1.0 + 2 * X[:, 0] - X[:, 1] ** 2
+        scores = cross_val_score(
+            lambda: make_polynomial_regression(2), X, y, n_splits=4
+        )
+        assert scores.mean() > 0.99
+
+    def test_pipeline_getitem(self):
+        pipe = make_polynomial_regression(2)
+        assert isinstance(pipe["poly"], PolynomialFeatures)
+        with pytest.raises(KeyError):
+            pipe["nope"]
+
+
+class _Biobj(Problem):
+    """min (x0/u, 1 - x0/u + spread): simple convex front on integers."""
+
+    def __init__(self, n=6, upper=50):
+        super().__init__(n, 2, 0, upper)
+        self.u = upper
+
+    def evaluate(self, X):
+        f1 = X[:, 0] / self.u
+        rest = X[:, 1:].mean(axis=1) / self.u
+        f2 = 1.0 - f1 + rest
+        return np.stack([f1, f2], axis=1)
+
+
+class TestSorting:
+    def test_pareto_mask(self):
+        F = np.array([[1, 5], [2, 2], [5, 1], [4, 4]])
+        mask = pareto_front_mask(F)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_non_dominated_sort_fronts(self):
+        F = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        fronts = fast_non_dominated_sort(F)
+        assert [list(f) for f in fronts] == [[0], [1], [2]]
+
+    def test_crowding_extremes_infinite(self):
+        F = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        d = crowding_distance(F)
+        assert np.isinf(d[0]) and np.isinf(d[3])
+        assert np.isfinite(d[1]) and np.isfinite(d[2])
+
+
+class TestNSGA2:
+    def test_converges_to_front(self):
+        res = NSGA2(pop_size=32, seed=0).minimize(
+            _Biobj(), Termination(max_generations=40)
+        )
+        # On the true front the rest-genes are ~0, so f1 + f2 ~ 1.
+        sums = res.F.sum(axis=1)
+        assert np.mean(sums) < 1.1
+
+    def test_front_is_mutually_non_dominated(self):
+        res = NSGA2(pop_size=32, seed=1).minimize(
+            _Biobj(), Termination(max_generations=20)
+        )
+        assert pareto_front_mask(res.F).all()
+
+    def test_termination_tolerance_window(self):
+        term = Termination(max_generations=500, tol=0.5, window=3)
+        res = NSGA2(pop_size=16, seed=2).minimize(_Biobj(n=4), term)
+        assert res.reason in ("tolerance_window", "max_generations")
+        assert res.generations < 500 or res.reason == "max_generations"
+
+    def test_pop_size_validation(self):
+        with pytest.raises(ValueError):
+            NSGA2(pop_size=5)
+
+    def test_respects_bounds(self):
+        res = NSGA2(pop_size=16, seed=3).minimize(
+            _Biobj(), Termination(max_generations=10)
+        )
+        assert res.X.min() >= 0 and res.X.max() <= 50
+
+
+class TestMCDM:
+    def test_pseudo_weights_rows_sum_to_one(self):
+        F = np.array([[0.0, 10.0], [5.0, 5.0], [10.0, 0.0]])
+        w = pseudo_weights(F)
+        assert np.allclose(w.sum(axis=1), 1.0)
+
+    def test_extreme_selection(self):
+        F = np.array([[0.0, 10.0], [5.0, 5.0], [10.0, 0.0]])
+        # Strong priority on objective 0 picks the solution minimizing it.
+        idx = select_by_preference(F, (0.99, 0.01))
+        assert idx == 0
+        idx = select_by_preference(F, (0.01, 0.99))
+        assert idx == 2
+
+    def test_balanced_picks_middle(self):
+        F = np.array([[0.0, 10.0], [5.0, 5.0], [10.0, 0.0]])
+        assert select_by_preference(F, "balanced") == 1
+
+    def test_named_preferences(self):
+        F = np.array([[0.0, 1.0], [1.0, 0.0]])
+        for name in ("jct", "balanced", "fidelity"):
+            select_by_preference(F, name)
+        with pytest.raises(KeyError):
+            select_by_preference(F, "nope")
+
+    def test_preference_validation(self):
+        F = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            select_by_preference(F, (0.9, 0.9))
+        with pytest.raises(ValueError):
+            select_by_preference(F, (1.0,))
+
+    def test_degenerate_objective(self):
+        F = np.array([[1.0, 5.0], [2.0, 5.0]])
+        idx = select_by_preference(F, "balanced")
+        assert idx in (0, 1)

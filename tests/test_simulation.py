@@ -1,0 +1,268 @@
+"""Tests for the simulation substrate: statevector, noise, trajectories,
+readout, distribution metrics, and the analytic ESP model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.simulation import (
+    NoiseModel,
+    NoisySimulator,
+    QubitNoise,
+    GateNoise,
+    apply_readout_noise_probs,
+    circuit_duration_ns,
+    counts_to_probs,
+    esp,
+    esp_components,
+    esp_to_hellinger,
+    estimate_fidelity_analytic,
+    expectation_z,
+    full_confusion_matrix,
+    hellinger_distance,
+    hellinger_fidelity,
+    ideal_probabilities,
+    marginal_counts,
+    sample_counts,
+    simulate_statevector,
+    total_variation_distance,
+    zero_state,
+)
+from repro.workloads import ghz, ghz_linear
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        s = zero_state(3)
+        assert s[0] == 1.0 and np.sum(np.abs(s)) == 1.0
+
+    def test_too_wide_raises(self):
+        with pytest.raises(ValueError):
+            zero_state(30)
+
+    def test_bell_state(self):
+        p = ideal_probabilities(Circuit(2).h(0).cx(0, 1))
+        assert p[0] == pytest.approx(0.5) and p[3] == pytest.approx(0.5)
+
+    def test_qubit_order_little_endian(self):
+        # X on qubit 0 flips the least-significant bit of the index.
+        p = ideal_probabilities(Circuit(2).x(0))
+        assert p[1] == pytest.approx(1.0)
+
+    def test_three_qubit_gate_application_order(self):
+        # cx(2, 0): control qubit 2, target qubit 0.
+        c = Circuit(3).x(2).cx(2, 0)
+        p = ideal_probabilities(c)
+        assert p[0b101] == pytest.approx(1.0)
+
+    def test_reset_projects(self):
+        c = Circuit(1).x(0).reset(0)
+        state = simulate_statevector(c)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_project_is_unnormalized(self):
+        c = Circuit(1).h(0).project(0, 0)
+        state = simulate_statevector(c)
+        assert np.sum(np.abs(state) ** 2) == pytest.approx(0.5)
+
+    def test_expectation_z(self):
+        state = simulate_statevector(Circuit(2).x(1))
+        assert expectation_z(state, 0, 2) == pytest.approx(1.0)
+        assert expectation_z(state, 1, 2) == pytest.approx(-1.0)
+
+    def test_sample_counts_total(self):
+        rng = np.random.default_rng(0)
+        counts = sample_counts(np.array([0.5, 0.5]), 1000, rng, 1)
+        assert sum(counts.values()) == 1000
+
+    def test_sample_counts_zero_vector_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_counts(np.zeros(4), 10, rng, 2)
+
+
+class TestDistributions:
+    def test_hellinger_identical(self):
+        p = np.array([0.25, 0.75])
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+        assert hellinger_distance(p, p) == pytest.approx(0.0)
+
+    def test_hellinger_disjoint(self):
+        assert hellinger_fidelity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_hellinger_accepts_counts_dicts(self):
+        f = hellinger_fidelity({"00": 500, "11": 500}, {"00": 1, "11": 1})
+        assert f == pytest.approx(1.0)
+
+    def test_tvd(self):
+        assert total_variation_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hellinger_fidelity(np.ones(2) / 2, np.ones(4) / 4)
+
+    def test_counts_to_probs(self):
+        probs = counts_to_probs({"0": 3, "1": 1})
+        assert probs["0"] == pytest.approx(0.75)
+
+    def test_marginal_counts(self):
+        counts = {"10": 4, "11": 6}
+        marg = marginal_counts(counts, keep=[1])
+        assert marg == {"1": 10}
+        marg0 = marginal_counts(counts, keep=[0])
+        assert marg0 == {"0": 4, "1": 6}
+
+
+class TestNoiseModel:
+    def test_uniform_construction(self):
+        nm = NoiseModel.uniform(4, error_2q=0.01)
+        assert nm.num_qubits == 4
+        assert nm.gate_noise("cx", (0, 1)).error == pytest.approx(0.01)
+
+    def test_rz_is_free(self):
+        nm = NoiseModel.uniform(2)
+        gn = nm.gate_noise("rz", (0,))
+        assert gn.error == 0.0 and gn.duration_ns == 0.0
+
+    def test_invalid_qubit_noise(self):
+        with pytest.raises(ValueError):
+            QubitNoise(t1_us=-1, t2_us=10, readout_p01=0, readout_p10=0)
+        with pytest.raises(ValueError):
+            QubitNoise(t1_us=10, t2_us=10, readout_p01=1.5, readout_p10=0)
+
+    def test_invalid_gate_noise(self):
+        with pytest.raises(ValueError):
+            GateNoise(error=1.5, duration_ns=10)
+
+    def test_decoherence_probs_monotone_in_time(self):
+        nm = NoiseModel.uniform(1, t1_us=100, t2_us=80)
+        p1 = nm.decoherence_probs(0, 100.0)
+        p2 = nm.decoherence_probs(0, 1000.0)
+        assert p2[0] > p1[0] and p2[1] >= p1[1]
+
+    def test_confusion_matrix_columns_sum_to_one(self):
+        nm = NoiseModel.uniform(1, readout_error=0.05)
+        conf = nm.confusion_matrix(0)
+        assert np.allclose(conf.sum(axis=0), 1.0)
+
+    def test_scaled_increases_errors(self):
+        nm = NoiseModel.uniform(2, error_2q=0.01)
+        scaled = nm.scaled(3.0)
+        assert scaled.gate_noise("cx", (0, 1)).error == pytest.approx(0.03)
+        assert scaled.qubits[0].t1_us < nm.qubits[0].t1_us
+
+
+class TestReadout:
+    def test_forward_noise_preserves_total(self):
+        nm = NoiseModel.uniform(3, readout_error=0.05)
+        probs = ideal_probabilities(ghz(3, measure=False))
+        noisy = apply_readout_noise_probs(probs, nm, 3)
+        assert noisy.sum() == pytest.approx(1.0)
+        assert hellinger_fidelity(noisy, probs) < 1.0
+
+    def test_full_confusion_matrix_stochastic(self):
+        nm = NoiseModel.uniform(2, readout_error=0.03)
+        mat = full_confusion_matrix(nm, [0, 1])
+        assert mat.shape == (4, 4)
+        assert np.allclose(mat.sum(axis=0), 1.0)
+
+    def test_full_confusion_too_wide(self):
+        nm = NoiseModel.uniform(13)
+        with pytest.raises(ValueError):
+            full_confusion_matrix(nm, list(range(13)))
+
+
+class TestTrajectorySimulator:
+    def test_noiseless_limit_matches_ideal(self):
+        nm = NoiseModel.uniform(
+            3, error_1q=0.0, error_2q=0.0, readout_error=0.0,
+            t1_us=1e9, t2_us=1e9,
+        )
+        sim = NoisySimulator(nm, num_trajectories=3, seed=0)
+        c = ghz(3)
+        probs = sim.noisy_probabilities(c)
+        assert hellinger_fidelity(probs, ideal_probabilities(c)) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_noise_reduces_fidelity(self):
+        nm = NoiseModel.uniform(3, error_2q=0.05, readout_error=0.05)
+        sim = NoisySimulator(nm, num_trajectories=40, seed=1)
+        c = ghz_linear(3)
+        fid = hellinger_fidelity(
+            sim.noisy_probabilities(c), ideal_probabilities(c)
+        )
+        assert 0.3 < fid < 0.98
+
+    def test_more_noise_less_fidelity(self):
+        c = ghz_linear(4)
+        ideal = ideal_probabilities(c)
+        fids = []
+        for err in (0.005, 0.08):
+            nm = NoiseModel.uniform(4, error_2q=err, readout_error=err)
+            sim = NoisySimulator(nm, num_trajectories=60, seed=2)
+            fids.append(hellinger_fidelity(sim.noisy_probabilities(c), ideal))
+        assert fids[0] > fids[1]
+
+    def test_run_returns_counts(self):
+        nm = NoiseModel.uniform(2)
+        res = NoisySimulator(nm, num_trajectories=5, seed=0).run(
+            Circuit(2).h(0).cx(0, 1).measure_all(), shots=256
+        )
+        assert sum(res.counts.values()) == 256
+        assert res.num_qubits == 2
+
+    def test_circuit_wider_than_backend_raises(self):
+        nm = NoiseModel.uniform(2)
+        sim = NoisySimulator(nm, seed=0)
+        with pytest.raises(ValueError):
+            sim.run(Circuit(3).h(0))
+
+    def test_invalid_trajectories(self):
+        with pytest.raises(ValueError):
+            NoisySimulator(NoiseModel.uniform(1), num_trajectories=0)
+
+
+class TestESP:
+    def test_esp_in_unit_interval(self):
+        nm = NoiseModel.uniform(3, error_2q=0.02)
+        value = esp(ghz(3), nm)
+        assert 0.0 < value < 1.0
+
+    def test_esp_components_sum(self):
+        nm = NoiseModel.uniform(3, error_2q=0.02)
+        c = ghz(3)
+        comps = esp_components(c, nm)
+        assert math.exp(sum(comps.values())) == pytest.approx(esp(c, nm))
+
+    def test_esp_decreases_with_more_gates(self):
+        nm = NoiseModel.uniform(4, error_2q=0.02)
+        assert esp(ghz_linear(4), nm) > esp(ghz_linear(4).power(3), nm)
+
+    def test_esp_to_hellinger_bounds(self):
+        assert esp_to_hellinger(1.0, 5) == pytest.approx(1.0)
+        assert 0.0 <= esp_to_hellinger(0.0, 5) < 0.2
+        assert esp_to_hellinger(0.5, 2) > esp_to_hellinger(0.5, 20)
+
+    def test_analytic_close_to_trajectory(self):
+        """The analytic model should land within ~0.15 of the trajectory sim."""
+        nm = NoiseModel.uniform(4, error_2q=0.015, readout_error=0.02)
+        c = ghz_linear(4)
+        analytic = estimate_fidelity_analytic(c, nm)
+        sim = NoisySimulator(nm, num_trajectories=80, seed=3)
+        measured = hellinger_fidelity(
+            sim.noisy_probabilities(c), ideal_probabilities(c)
+        )
+        assert abs(analytic - measured) < 0.15
+
+    def test_duration_accumulates(self):
+        nm = NoiseModel.uniform(2, duration_2q_ns=300.0)
+        c = Circuit(2).cx(0, 1).cx(0, 1)
+        assert circuit_duration_ns(c, nm) == pytest.approx(600.0)
+
+    def test_duration_parallel_wires(self):
+        nm = NoiseModel.uniform(4, duration_2q_ns=300.0)
+        c = Circuit(4).cx(0, 1).cx(2, 3)
+        assert circuit_duration_ns(c, nm) == pytest.approx(300.0)

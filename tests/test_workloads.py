@@ -1,0 +1,201 @@
+"""Correctness tests for every benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import hellinger_fidelity, ideal_probabilities
+from repro.workloads import (
+    BENCHMARKS,
+    WorkloadSampler,
+    benchmark_names,
+    bernstein_vazirani,
+    clustered_circuit,
+    deutsch_jozsa,
+    generate,
+    ghz,
+    ghz_linear,
+    grover,
+    maxcut_cost,
+    phase_estimation,
+    qaoa_maxcut,
+    qaoa_ring_maxcut,
+    qft,
+    qft_entangled,
+    random_circuit,
+    real_amplitudes,
+    ripple_adder,
+    two_local,
+    w_state,
+)
+
+
+class TestStatePreparations:
+    def test_ghz_distribution(self):
+        p = ideal_probabilities(ghz(4))
+        assert p[0] == pytest.approx(0.5) and p[15] == pytest.approx(0.5)
+
+    def test_ghz_linear_equals_star_distribution(self):
+        p1 = ideal_probabilities(ghz(5))
+        p2 = ideal_probabilities(ghz_linear(5))
+        assert hellinger_fidelity(p1, p2) == pytest.approx(1.0)
+
+    def test_w_state_uniform_single_excitation(self):
+        p = ideal_probabilities(w_state(4))
+        ones = [1 << k for k in range(4)]
+        for idx in ones:
+            assert p[idx] == pytest.approx(0.25, abs=1e-9)
+        assert sum(p[i] for i in ones) == pytest.approx(1.0)
+
+    def test_minimum_size_validation(self):
+        for fn in (ghz, ghz_linear, w_state):
+            with pytest.raises(ValueError):
+                fn(1)
+
+
+class TestQFT:
+    def test_qft_matches_dft_matrix(self):
+        n = 3
+        u = qft(n, swaps=True).unitary()
+        dft = np.array(
+            [
+                [np.exp(2j * np.pi * j * k / 2**n) for k in range(2**n)]
+                for j in range(2**n)
+            ]
+        ) / np.sqrt(2**n)
+        assert np.allclose(u, dft, atol=1e-10)
+
+    def test_qft_inverse_is_identity(self):
+        c = qft(4)
+        u = c.copy().compose(c.inverse()).unitary()
+        assert np.allclose(u, np.eye(16), atol=1e-9)
+
+    def test_approximate_qft_has_fewer_cp(self):
+        full = qft(6).count_ops().get("cp", 0)
+        approx = qft(6, approximation_degree=3).count_ops().get("cp", 0)
+        assert approx < full
+
+    def test_qft_entangled_runs(self):
+        c = qft_entangled(4)
+        assert c.num_measurements == 4
+
+
+class TestAlgorithms:
+    def test_grover_finds_marked(self):
+        for marked in ("101", "010"):
+            p = ideal_probabilities(grover(3, marked))
+            assert int(np.argmax(p)) == int(marked, 2)
+            assert p[int(marked, 2)] > 0.8
+
+    def test_grover_validation(self):
+        with pytest.raises(ValueError):
+            grover(3, marked="10")
+
+    def test_bv_recovers_secret(self):
+        secret = "11010"
+        p = ideal_probabilities(bernstein_vazirani(5, secret))
+        assert format(int(np.argmax(p)), "05b") == secret
+        assert p.max() == pytest.approx(1.0)
+
+    def test_dj_balanced_avoids_zero(self):
+        p = ideal_probabilities(deutsch_jozsa(4, balanced=True))
+        assert p[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_dj_constant_hits_zero(self):
+        p = ideal_probabilities(deutsch_jozsa(4, balanced=False))
+        assert p[0] == pytest.approx(1.0)
+
+    def test_qpe_reads_phase(self):
+        for phase, n in ((0.25, 4), (0.3125, 4)):
+            p = ideal_probabilities(phase_estimation(n, phase))
+            counting = int(np.argmax(p)) & ((1 << n) - 1)
+            assert counting == round(phase * 2**n)
+
+    def test_adder_adds(self):
+        for a, b in ((3, 1), (2, 2), (1, 3)):
+            c = ripple_adder(2, a=a, b=b)
+            p = ideal_probabilities(c)
+            idx = int(np.argmax(p))
+            total = sum(((idx >> (1 + 2 * i)) & 1) << i for i in range(2))
+            carry = (idx >> (c.num_qubits - 1)) & 1
+            assert total + (carry << 2) == a + b
+
+
+class TestVariational:
+    def test_qaoa_structure(self):
+        c = qaoa_maxcut(6, p_layers=2, seed=1)
+        ops = c.count_ops()
+        assert ops["h"] == 6 and ops["rx"] == 12
+        assert "edges" in c.metadata
+
+    def test_qaoa_ring_is_chain_like(self):
+        from repro.circuits import compute_metrics
+
+        c = qaoa_ring_maxcut(8)
+        assert compute_metrics(c).routing_class == "linear"
+
+    def test_qaoa_param_validation(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut(4, p_layers=2, gammas=[0.1], betas=[0.1, 0.2])
+
+    def test_maxcut_cost(self):
+        edges = [(0, 1), (1, 2)]
+        assert maxcut_cost("010", edges) == 2  # q0=0,q1=1,q2=0
+        assert maxcut_cost("000", edges) == 0
+
+    def test_real_amplitudes_param_count(self):
+        with pytest.raises(ValueError):
+            real_amplitudes(4, reps=2, parameters=[0.1] * 5)
+
+    def test_two_local_entanglement_options(self):
+        full = two_local(4, reps=1, entanglement="full")
+        lin = two_local(4, reps=1, entanglement="linear")
+        assert full.two_qubit_gate_count() > lin.two_qubit_gate_count()
+
+
+class TestRandomAndClustered:
+    def test_random_circuit_determinism(self):
+        c1 = random_circuit(5, 6, seed=42)
+        c2 = random_circuit(5, 6, seed=42)
+        assert c1.ops == c2.ops
+
+    def test_clustered_bridges_are_cz(self):
+        c = clustered_circuit(8, 3, num_clusters=2, bridge_gates=2, seed=1)
+        clusters = c.metadata["clusters"]
+        set_a = set(clusters[0])
+        crossing = [
+            g
+            for g in c.ops
+            if g.num_qubits == 2 and (g.qubits[0] in set_a) != (g.qubits[1] in set_a)
+        ]
+        assert crossing and all(g.name == "cz" for g in crossing)
+        assert len(crossing) == 2
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered_circuit(3, 2, num_clusters=2)
+
+
+class TestSuite:
+    def test_all_benchmarks_generate(self):
+        for name in benchmark_names():
+            _, lo, hi = BENCHMARKS[name]
+            width = max(lo, min(5, hi))
+            circ = generate(name, width, seed=1)
+            assert circ.num_qubits >= 1
+            assert circ.metadata.get("benchmark") == name
+
+    def test_generate_range_validation(self):
+        with pytest.raises(ValueError):
+            generate("grover", 20)
+        with pytest.raises(KeyError):
+            generate("nope", 5)
+
+    def test_sampler_respects_bounds(self):
+        sampler = WorkloadSampler(seed=1, min_qubits=3, max_qubits=10)
+        for job in sampler.sample_many(30):
+            assert 1 <= job.circuit.num_qubits <= 10
+            assert 1000 <= job.shots <= 25000
+
+    def test_sampler_mitigation_fraction(self):
+        sampler = WorkloadSampler(seed=2, mitigation_fraction=1.0)
+        assert all(j.uses_mitigation for j in sampler.sample_many(10))
