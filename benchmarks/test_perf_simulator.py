@@ -1,0 +1,96 @@
+"""Micro-benchmark for the event-driven cloud core.
+
+Not a paper figure: this harness records throughput (events/sec) and
+estimate-cache hit rate for the simulator hot path and writes a JSON
+artifact so the perf trajectory is tracked across PRs (CI uploads it from
+the non-blocking benchmark job).
+
+The 10k-job stress scenario is the load level the old batch time-stepping
+loop could not finish in reasonable time: per-sample rescans of the whole
+arrived stream plus per-(job, QPU) estimator calls made it quadratic-ish
+in practice. The event core schedules it in seconds.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.backends.fleet import fleet_of_size
+from repro.cloud import (
+    CloudSimulator,
+    ExecutionModel,
+    LoadGenerator,
+    SimulationConfig,
+)
+from repro.scheduler import QonductorScheduler, SchedulingTrigger
+
+from conftest import report
+from repro.experiments.common import trained_estimator
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+#: Round shot counts, as real cloud users request them; this is what makes
+#: the content-addressed estimate cache hit across jobs.
+SHOTS_GRID = (1024, 2048, 4096, 8192)
+
+
+def _run_stress(num_jobs: int, *, num_qpus: int = 8, seed: int = 3):
+    """Drive ~num_jobs arrivals through the Qonductor scheduling stack."""
+    rate = 20_000.0  # jobs/hour: far past the paper's 3x stability point
+    duration = num_jobs / rate * 3600.0
+    estimator = trained_estimator(seed=7)
+    cached = estimator.cached()
+    gen = LoadGenerator(
+        mean_rate_per_hour=rate,
+        diurnal=False,
+        shots_grid=SHOTS_GRID,
+        seed=seed,
+    )
+    apps = gen.generate(duration)
+    sim = CloudSimulator(
+        fleet_of_size(num_qpus, seed=7),
+        QonductorScheduler(cached, seed=seed, max_generations=10),
+        ExecutionModel(seed=11),
+        trigger=SchedulingTrigger(),
+        config=SimulationConfig(
+            duration_seconds=duration,
+            recalibrate_every_seconds=duration / 2.0,
+            seed=seed,
+        ),
+    )
+    t0 = time.perf_counter()
+    metrics = sim.run(apps)
+    wall = time.perf_counter() - t0
+    return apps, metrics, cached, wall
+
+
+def test_perf_event_core_10k_jobs():
+    apps, metrics, cached, wall = _run_stress(10_000)
+    scheduled = metrics.completed_jobs + metrics.unschedulable_jobs
+    result = {
+        "paper": {},
+        "measured": {
+            "jobs": len(apps),
+            "scheduled_jobs": scheduled,
+            "wall_seconds": round(wall, 3),
+            "events_processed": metrics.events_processed,
+            "events_per_second": round(metrics.events_per_second, 1),
+            "jobs_per_second": round(scheduled / max(wall, 1e-9), 1),
+            "scheduling_cycles": metrics.scheduling_cycles,
+            "estimate_cache": metrics.estimate_cache,
+        },
+    }
+    report("Perf: event core, 10k-job stress", result,
+           keys=list(result["measured"]))
+
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    artifact = ARTIFACT_DIR / "perf_simulator.json"
+    artifact.write_text(json.dumps(result["measured"], indent=2) + "\n")
+
+    # The old loop needed minutes here; keep a generous regression gate.
+    assert len(apps) > 9_000
+    assert scheduled == len(apps)
+    assert wall < 120.0
+    assert metrics.events_processed > len(apps)  # arrivals + completions + ticks
+    # Round shot counts + repeated circuit shapes must produce real reuse.
+    assert metrics.estimate_cache["hit_rate"] > 0.2

@@ -1,17 +1,8 @@
 """Setuptools shim: enables legacy editable installs (`pip install -e .`)
-in environments without the `wheel` package (offline evaluation boxes)."""
+in environments without the `wheel` package (offline evaluation boxes).
 
-from setuptools import find_packages, setup
+All metadata lives in pyproject.toml."""
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Qonductor reproduction: a cloud orchestrator for hybrid "
-        "quantum-classical computing"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
-)
+from setuptools import setup
+
+setup()

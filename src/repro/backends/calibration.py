@@ -17,7 +17,12 @@ import numpy as np
 from ..simulation.noise import GateNoise, NoiseModel, QubitNoise
 from .models import QPUModel
 
-__all__ = ["CalibrationData", "sample_calibration", "average_calibrations"]
+__all__ = [
+    "CalibrationAggregates",
+    "CalibrationData",
+    "sample_calibration",
+    "average_calibrations",
+]
 
 #: Default wall-clock spacing between calibration cycles (seconds). IBM
 #: recalibrates roughly daily; experiments can shorten this.
@@ -36,12 +41,43 @@ class CalibrationData:
     quality_factor: float
 
     @property
+    def epoch(self) -> tuple[str, int]:
+        """Cache-invalidation key: a fresh snapshot means a fresh epoch."""
+        return (self.qpu_name, self.cycle)
+
+    @property
     def mean_error_2q(self) -> float:
         return self.noise_model.mean_gate_error_2q()
 
     @property
     def mean_readout_error(self) -> float:
         return self.noise_model.mean_readout_error()
+
+    def aggregates(self) -> "CalibrationAggregates":
+        """Scalar summaries used by estimators, computed once per snapshot.
+
+        Hot paths touch these per (job, QPU) pair; recomputing the means
+        over every qubit/gate each time dominated estimation cost.
+        """
+        agg = getattr(self, "_aggregates", None)
+        if agg is None:
+            nm = self.noise_model
+            if nm.gates_2q:
+                dur_2q = float(
+                    np.mean([g.duration_ns for g in nm.gates_2q.values()])
+                )
+            else:
+                dur_2q = nm.default_2q.duration_ns
+            agg = CalibrationAggregates(
+                t1_us=float(np.mean([q.t1_us for q in nm.qubits])),
+                t2_us=float(np.mean([q.t2_us for q in nm.qubits])),
+                error_2q=nm.mean_gate_error_2q(),
+                error_1q=nm.mean_gate_error_1q(),
+                readout_error=nm.mean_readout_error(),
+                duration_2q_ns=dur_2q,
+            )
+            self._aggregates = agg
+        return agg
 
     def summary(self) -> dict:
         nm = self.noise_model
@@ -55,6 +91,18 @@ class CalibrationData:
             "mean_error_2q": nm.mean_gate_error_2q(),
             "mean_readout_error": nm.mean_readout_error(),
         }
+
+
+@dataclass(frozen=True)
+class CalibrationAggregates:
+    """Fleet-wide scalar view of one calibration snapshot."""
+
+    t1_us: float
+    t2_us: float
+    error_2q: float
+    error_1q: float
+    readout_error: float
+    duration_2q_ns: float
 
 
 def sample_calibration(

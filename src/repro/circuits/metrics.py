@@ -40,6 +40,21 @@ class CircuitMetrics:
             return "sparse"
         return "dense"
 
+    @property
+    def fingerprint(self) -> tuple:
+        """Content address: two circuits with equal structural metrics are
+        interchangeable for estimation, so caches key on this tuple."""
+        return (
+            self.num_qubits,
+            self.depth,
+            self.two_qubit_depth,
+            self.size,
+            self.num_1q_gates,
+            self.num_2q_gates,
+            self.num_measurements,
+            self.max_interaction_degree,
+        )
+
     def as_dict(self) -> dict:
         return asdict(self)
 

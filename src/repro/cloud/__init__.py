@@ -1,7 +1,7 @@
 """Cloud simulation substrate: jobs, the transpile proxy, the ground-truth
 execution model, simulated backends, load generation, and the simulator."""
 
-from .job import HybridApplication, JobStatus, QuantumJob
+from .job import HybridApplication, JobStatus, QuantumJob, feasibility_matrix
 from .proxy import ProxyEntry, TranspileProxy
 from .execution import (
     MITIGATION_EFFECTS,
@@ -18,6 +18,7 @@ __all__ = [
     "HybridApplication",
     "JobStatus",
     "QuantumJob",
+    "feasibility_matrix",
     "ProxyEntry",
     "TranspileProxy",
     "MITIGATION_EFFECTS",

@@ -90,43 +90,78 @@ class ExecutionModel:
         self.fidelity_noise_sigma = fidelity_noise_sigma
         self.runtime_noise_sigma = runtime_noise_sigma
         self._rng = np.random.default_rng(seed)
+        #: Content-addressed memo of log-error components, keyed on
+        #: (metrics fingerprint, calibration epoch, model name). The epoch
+        #: (qpu_name, cycle) changes on recalibration, so entries can never
+        #: be served stale; :meth:`on_recalibration` drops them for memory.
+        self._comp_cache: dict[tuple, dict[str, float]] = {}
+
+    def on_recalibration(self, qpus=None) -> None:
+        """Drop cached components (their calibration epochs just died)."""
+        self._comp_cache.clear()
 
     # ------------------------------------------------------------------
     def log_error_components(
         self, metrics: CircuitMetrics, calibration: CalibrationData, model: QPUModel
     ) -> dict[str, float]:
-        """Aggregate-metric version of :func:`esp_components`."""
-        nm = calibration.noise_model
-        phys_2q, phys_1q, duration_ns = self.proxy.physical_metrics(metrics, model)
-        # The proxy is calibrated at the model's nominal gate speed; scale
-        # the schedule by this device's actual (calibrated) 2q duration.
-        if nm.gates_2q:
-            speed = float(
-                np.mean([g.duration_ns for g in nm.gates_2q.values()])
-                / model.duration_2q_ns
+        """Aggregate-metric version of :func:`esp_components` (memoized)."""
+        return self.components_batch([metrics], calibration, model)[0]
+
+    def components_batch(
+        self,
+        metrics_list: list[CircuitMetrics],
+        calibration: CalibrationData,
+        model: QPUModel,
+    ) -> list[dict[str, float]]:
+        """Log-error components for a whole pending set on one device.
+
+        Uncached entries are computed in a single NumPy array pass; repeated
+        circuit shapes (the common case in cloud streams) hit the memo.
+        """
+        keys = [
+            (m.fingerprint, calibration.epoch, model.name) for m in metrics_list
+        ]
+        fresh: dict[tuple, CircuitMetrics] = {}
+        for key, m in zip(keys, metrics_list):
+            if key not in self._comp_cache:
+                fresh.setdefault(key, m)
+        if fresh:
+            agg = calibration.aggregates()
+            # The proxy is calibrated at the model's nominal gate speed;
+            # scale schedules by the calibrated 2q duration.
+            nm = calibration.noise_model
+            speed = (
+                agg.duration_2q_ns / model.duration_2q_ns if nm.gates_2q else 1.0
             )
-            duration_ns *= speed
-        e2 = nm.mean_gate_error_2q()
-        e1 = nm.mean_gate_error_1q()
-        log_gate = phys_2q * math.log1p(-min(e2, 0.5)) + phys_1q * math.log1p(
-            -min(e1, 0.5)
-        )
-        ero = nm.mean_readout_error()
-        log_ro = metrics.num_measurements * math.log1p(-min(ero, 0.5))
-        t1 = float(np.mean([q.t1_us for q in nm.qubits]))
-        t2 = float(np.mean([q.t2_us for q in nm.qubits]))
-        inv_tphi = max(0.0, 1.0 / t2 - 0.5 / t1)
-        dur_us = duration_ns / 1000.0
-        # Occupancy 0.25: qubits spend much of the schedule in computational-
-        # basis populations or echoed by circuit structure, so the effective
-        # exposure to T1/Tphi is well below the full critical path.
-        log_decoh = -dur_us * metrics.num_qubits * 0.25 * (1.0 / t1 + inv_tphi)
-        return {
-            "gate": log_gate,
-            "readout": log_ro,
-            "decoherence": log_decoh,
-            "duration_ns": duration_ns,
-        }
+            phys = np.array(
+                [self.proxy.physical_metrics(m, model) for m in fresh.values()]
+            )
+            phys_2q, phys_1q, duration_ns = phys[:, 0], phys[:, 1], phys[:, 2]
+            if nm.gates_2q:
+                duration_ns = duration_ns * speed
+            num_qubits = np.array([m.num_qubits for m in fresh.values()])
+            num_meas = np.array([m.num_measurements for m in fresh.values()])
+            log_gate = phys_2q * math.log1p(
+                -min(agg.error_2q, 0.5)
+            ) + phys_1q * math.log1p(-min(agg.error_1q, 0.5))
+            log_ro = num_meas * math.log1p(-min(agg.readout_error, 0.5))
+            inv_tphi = max(0.0, 1.0 / agg.t2_us - 0.5 / agg.t1_us)
+            dur_us = duration_ns / 1000.0
+            # Occupancy 0.25: qubits spend much of the schedule in
+            # computational-basis populations or echoed by circuit
+            # structure, so the effective exposure to T1/Tphi is well below
+            # the full critical path.
+            log_decoh = -dur_us * num_qubits * 0.25 * (
+                1.0 / agg.t1_us + inv_tphi
+            )
+            for j, key in enumerate(fresh):
+                self._comp_cache[key] = {
+                    "gate": float(log_gate[j]),
+                    "readout": float(log_ro[j]),
+                    "decoherence": float(log_decoh[j]),
+                    "duration_ns": float(duration_ns[j]),
+                }
+        return [self._comp_cache[key] for key in keys]
 
     def mitigated_components(
         self, components: dict[str, float], mitigation: str
@@ -188,10 +223,7 @@ class ExecutionModel:
         nm = calibration.noise_model
         speed = 1.0
         if nm.gates_2q:
-            speed = float(
-                np.mean([g.duration_ns for g in nm.gates_2q.values()])
-                / model.duration_2q_ns
-            )
+            speed = calibration.aggregates().duration_2q_ns / model.duration_2q_ns
         per_shot_s = (raw["duration_ns"] / 1e9) + SHOT_OVERHEAD_US / 1e6 * speed
         quantum_s = QPU_SETUP_SECONDS * speed + shots * per_shot_s
         quantum_s *= float(np.exp(rng.normal(0.0, self.runtime_noise_sigma)))

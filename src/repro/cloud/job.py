@@ -6,10 +6,25 @@ import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from ..circuits.circuit import Circuit
 from ..circuits.metrics import CircuitMetrics, compute_metrics
 
-__all__ = ["JobStatus", "QuantumJob", "HybridApplication"]
+__all__ = ["JobStatus", "QuantumJob", "HybridApplication", "feasibility_matrix"]
+
+
+def feasibility_matrix(jobs, qpus, *, online_only: bool = True) -> np.ndarray:
+    """(jobs x qpus) bool mask of width-feasible assignments.
+
+    The single definition of the scheduling size constraint ``q_i <= s_k``;
+    offline devices are infeasible unless ``online_only`` is disabled.
+    """
+    widths = np.array([j.num_qubits for j in jobs])
+    caps = np.array(
+        [q.num_qubits if (q.online or not online_only) else -1 for q in qpus]
+    )
+    return widths[:, None] <= caps[None, :]
 
 _job_ids = itertools.count()
 _app_ids = itertools.count()

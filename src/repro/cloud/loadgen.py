@@ -50,6 +50,9 @@ class LoadGenerator:
     max_qubits: int = 27
     diurnal: bool = True
     keep_circuits: bool = False
+    #: Optional discrete shot grid (round numbers, as real users request);
+    #: None keeps the paper's log-uniform continuum.
+    shots_grid: tuple[int, ...] | None = None
     seed: int = 0
 
     def generate(self, duration_seconds: float) -> list[HybridApplication]:
@@ -60,6 +63,7 @@ class LoadGenerator:
             std_qubits=self.std_qubits,
             max_qubits=self.max_qubits,
             mitigation_fraction=self.mitigation_fraction,
+            shots_choices=self.shots_grid,
             seed=self.seed + 1,
         )
         apps: list[HybridApplication] = []

@@ -43,6 +43,19 @@ class SimulationMetrics:
     completed_jobs: int = 0
     unschedulable_jobs: int = 0
     scheduling_cycles: int = 0
+    #: Event-core accounting: how many discrete events the simulator
+    #: processed (arrivals, completions, triggers, samples, recalibrations)
+    #: and how long the run took in wall-clock seconds.
+    events_processed: int = 0
+    wall_seconds: float = 0.0
+    #: Estimate-cache counters, when the scheduling policy exposes a cache.
+    estimate_cache: dict = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
 
     def summary(self) -> dict:
         loads = list(self.per_qpu_busy_seconds.values())
@@ -53,6 +66,9 @@ class SimulationMetrics:
             load_cv = float(np.std(loads) / max(1e-9, np.mean(loads)))
         return {
             "load_cv": load_cv,
+            "events_processed": self.events_processed,
+            "events_per_second": round(self.events_per_second, 1),
+            "estimate_cache": dict(self.estimate_cache),
             "completed_jobs": self.completed_jobs,
             "unschedulable_jobs": self.unschedulable_jobs,
             "scheduling_cycles": self.scheduling_cycles,

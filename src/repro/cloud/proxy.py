@@ -77,8 +77,19 @@ class TranspileProxy:
     PROBE_WIDTHS = (2, 4, 8, 12, 16, 20, 27)
     CLASSES = ("linear", "sparse", "dense")
 
-    def __init__(self) -> None:
-        self._tables: dict[tuple[str, str], list[ProxyEntry]] = {}
+    #: Probe calibration is deterministic per (model, class) — fixed probe
+    #: seeds, deterministic transpiler — so tables are shared process-wide
+    #: instead of being re-fitted by every proxy instance.
+    _SHARED_TABLES: dict[tuple[str, str], list[ProxyEntry]] = {}
+
+    def __init__(self, *, share_tables: bool = True) -> None:
+        self._tables: dict[tuple[str, str], list[ProxyEntry]] = (
+            self._SHARED_TABLES if share_tables else {}
+        )
+        #: Memo of :meth:`physical_metrics` keyed on the metrics fingerprint
+        #: and model name (the proxy is calibration-independent, so entries
+        #: never go stale).
+        self._pm_cache: dict[tuple, tuple[float, float, float]] = {}
 
     def _calibrate(self, model: QPUModel, cls: str) -> list[ProxyEntry]:
         nm = NoiseModel.uniform(
@@ -123,8 +134,20 @@ class TranspileProxy:
             )
         return entries
 
+    @staticmethod
+    def _table_key(model: QPUModel, cls: str) -> tuple:
+        # Name alone is not guaranteed unique across model variants; include
+        # the parameters the probe fits actually depend on.
+        return (
+            model.name,
+            model.num_qubits,
+            model.duration_2q_ns,
+            model.duration_1q_ns,
+            cls,
+        )
+
     def table(self, model: QPUModel, cls: str = "sparse") -> list[ProxyEntry]:
-        key = (model.name, cls)
+        key = self._table_key(model, cls)
         if key not in self._tables:
             self._tables[key] = self._calibrate(model, cls)
         return self._tables[key]
@@ -134,6 +157,17 @@ class TranspileProxy:
         self, metrics: CircuitMetrics, model: QPUModel
     ) -> tuple[float, float, float]:
         """(physical_2q_gates, physical_1q_gates, duration_ns) estimates."""
+        key = (metrics.fingerprint, self._table_key(model, metrics.routing_class))
+        cached = self._pm_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._physical_metrics_uncached(metrics, model)
+        self._pm_cache[key] = result
+        return result
+
+    def _physical_metrics_uncached(
+        self, metrics: CircuitMetrics, model: QPUModel
+    ) -> tuple[float, float, float]:
         table = self.table(model, metrics.routing_class)
         widths = np.array([e.width for e in table], dtype=float)
         w = float(min(metrics.num_qubits, widths[-1]))

@@ -14,6 +14,7 @@ from .numerical import NumericalEstimator
 from .cost import TABLE1_RATES, ResourceRates, plan_cost
 from .plans import ResourcePlan, generate_resource_plans
 from .estimator import ResourceEstimator
+from .cache import CachedEstimator, CacheStats, EstimateCache
 
 __all__ = [
     "FIDELITY_FEATURE_NAMES",
@@ -33,4 +34,7 @@ __all__ = [
     "ResourcePlan",
     "generate_resource_plans",
     "ResourceEstimator",
+    "CachedEstimator",
+    "CacheStats",
+    "EstimateCache",
 ]

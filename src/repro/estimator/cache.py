@@ -1,0 +1,227 @@
+"""Content-addressed estimate caching for the scheduling hot path.
+
+Cloud-scale streams repeat circuit shapes constantly (the workload sampler
+draws from a fixed benchmark family), and calibration data only changes at
+recalibration boundaries. Estimator predictions are therefore memoizable on
+
+    (circuit-metrics fingerprint, shots, mitigation, calibration epoch)
+
+where the epoch is ``(qpu_name, calibration cycle)``. A recalibration bumps
+the cycle, so stale entries can never be served; :meth:`on_recalibration`
+additionally drops them to bound memory and refreshes the wrapped
+estimator's templates.
+
+:class:`CachedEstimator` is a drop-in ``estimate_fn`` for every scheduling
+policy (it is callable with ``(job, qpu)``), and additionally exposes the
+vectorized :meth:`estimate_matrix` fast path that
+:class:`~repro.scheduler.quantum.QonductorScheduler` and the baseline
+policies detect via ``hasattr``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backends.qpu import QPU
+from ..circuits.metrics import CircuitMetrics
+from ..cloud.job import QuantumJob, feasibility_matrix
+from .features import job_fidelity_features, job_runtime_features
+
+__all__ = ["CacheStats", "EstimateCache", "CachedEstimator"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "invalidations": self.invalidations,
+        }
+
+
+class EstimateCache:
+    """Bounded memo of ``key -> (fidelity, exec_seconds)`` pairs.
+
+    Eviction is generational: when the table exceeds ``max_entries`` it is
+    halved by dropping the oldest insertions (dicts preserve insertion
+    order), which is cheap and good enough for a stream whose working set
+    is the recent circuit mix.
+    """
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        self.max_entries = max_entries
+        self._table: dict[tuple, tuple[float, float]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @staticmethod
+    def key(
+        metrics: CircuitMetrics, shots: int, mitigation: str, qpu: QPU
+    ) -> tuple:
+        return (metrics.fingerprint, shots, mitigation, qpu.calibration.epoch)
+
+    def get(self, key: tuple) -> tuple[float, float] | None:
+        hit = self._table.get(key)
+        if hit is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return hit
+
+    def put(self, key: tuple, value: tuple[float, float]) -> None:
+        table = self._table
+        if len(table) >= self.max_entries:
+            drop = max(1, len(table) // 2)
+            for stale in list(table)[:drop]:
+                del table[stale]
+        table[key] = value
+
+    def invalidate(self) -> None:
+        """Drop every entry (epoch keys already prevent stale hits)."""
+        self._table.clear()
+        self.stats.invalidations += 1
+
+
+class CachedEstimator:
+    """Memoizing (and batch-capable) wrapper around an estimate source.
+
+    ``base`` is either a :class:`~repro.estimator.estimator.ResourceEstimator`
+    or any plain ``(job, qpu) -> (fidelity, exec_seconds)`` callable. With a
+    ResourceEstimator, cache misses are filled by one vectorized pipeline
+    pass per QPU; with a plain callable, misses fall back to per-pair calls
+    (still memoized).
+    """
+
+    def __init__(
+        self,
+        base,
+        *,
+        max_entries: int = 200_000,
+        on_invalidate: Callable[[list[QPU]], None] | None = None,
+    ) -> None:
+        self.base = base
+        self.cache = EstimateCache(max_entries=max_entries)
+        self._on_invalidate = on_invalidate
+        if hasattr(base, "estimate_for_qpu"):
+            self._pair_fn = base.estimate_for_qpu
+            self._trained = base.estimators
+        else:
+            self._pair_fn = base
+            self._trained = None
+        # Job feature rows are calibration-independent; share them across
+        # QPUs and scheduling rounds.
+        self._job_rows: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def on_recalibration(self, qpus: list[QPU]) -> None:
+        """Invalidate and propagate the calibration event downstream."""
+        self.cache.invalidate()
+        self._job_rows.clear()
+        if hasattr(self.base, "refresh_templates"):
+            self.base.refresh_templates(qpus)
+        if self._on_invalidate is not None:
+            self._on_invalidate(qpus)
+
+    # ------------------------------------------------------------------
+    def __call__(self, job: QuantumJob, qpu: QPU) -> tuple[float, float]:
+        key = EstimateCache.key(job.metrics, job.shots, job.mitigation, qpu)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        value = self._pair_fn(job, qpu)
+        self.cache.put(key, value)
+        return value
+
+    def _rows_for(self, job: QuantumJob) -> tuple[np.ndarray, np.ndarray]:
+        jkey = (job.metrics.fingerprint, job.shots, job.mitigation)
+        rows = self._job_rows.get(jkey)
+        if rows is None:
+            rows = (
+                job_fidelity_features(job.metrics, job.shots, job.mitigation),
+                job_runtime_features(job.metrics, job.shots, job.mitigation),
+            )
+            self._job_rows[jkey] = rows
+        return rows
+
+    def estimate_matrix(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        feasible: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(fidelity, exec_seconds) matrices over ``jobs`` x ``qpus``.
+
+        Infeasible pairs (job wider than the QPU) stay zero and are neither
+        estimated nor cached. Misses for one QPU are predicted in a single
+        vectorized pass when the base exposes trained estimators.
+        """
+        n, m = len(jobs), len(qpus)
+        fid = np.zeros((n, m))
+        sec = np.zeros((n, m))
+        if feasible is None:
+            feasible = feasibility_matrix(jobs, qpus)
+        keys = [
+            EstimateCache.key(j.metrics, j.shots, j.mitigation, q)
+            for j in jobs
+            for q in qpus
+        ]
+        for k, qpu in enumerate(qpus):
+            missing: list[int] = []
+            for i in range(n):
+                if not feasible[i, k]:
+                    continue
+                hit = self.cache.get(keys[i * m + k])
+                if hit is None:
+                    missing.append(i)
+                else:
+                    fid[i, k], sec[i, k] = hit
+            if not missing:
+                continue
+            if self._trained is not None:
+                fid_rows = np.array(
+                    [self._rows_for(jobs[i])[0] for i in missing]
+                )
+                run_rows = np.array(
+                    [self._rows_for(jobs[i])[1] for i in missing]
+                )
+                fids = self._trained.estimate_fidelity_batch(
+                    fid_rows, qpu.calibration
+                )
+                secs = self._trained.estimate_runtime_batch(
+                    run_rows, qpu.calibration
+                )
+                for j, i in enumerate(missing):
+                    fid[i, k] = fids[j]
+                    sec[i, k] = secs[j]
+                    self.cache.put(keys[i * m + k], (float(fids[j]), float(secs[j])))
+            else:
+                for i in missing:
+                    value = self._pair_fn(jobs[i], qpu)
+                    fid[i, k], sec[i, k] = value
+                    self.cache.put(keys[i * m + k], value)
+        return fid, sec

@@ -63,6 +63,12 @@ class ResourceEstimator:
         )
         return fid, sec
 
+    def cached(self, **kwargs) -> "CachedEstimator":
+        """A memoizing, batch-capable ``estimate_fn`` view of this estimator."""
+        from .cache import CachedEstimator
+
+        return CachedEstimator(self, **kwargs)
+
     def generate_plans(
         self,
         metrics: CircuitMetrics,

@@ -4,6 +4,10 @@ The paper's features: error-mitigation type, circuit width, shots, depth,
 two-qubit count — plus, for fidelity, the target QPU's topology/error rates.
 We encode exactly those from a job's :class:`CircuitMetrics`, its mitigation
 preset, and the target calibration snapshot.
+
+Feature vectors split into a job part (circuit + shots + mitigation) and a
+calibration part, so batched estimation can build the job matrix once per
+scheduling cycle and broadcast the calibration columns per QPU.
 """
 
 from __future__ import annotations
@@ -21,6 +25,12 @@ __all__ = [
     "RUNTIME_FEATURE_NAMES",
     "fidelity_features",
     "runtime_features",
+    "fidelity_features_batch",
+    "runtime_features_batch",
+    "job_fidelity_features",
+    "job_runtime_features",
+    "calibration_fidelity_features",
+    "calibration_runtime_features",
     "mitigation_flags",
 ]
 
@@ -68,16 +78,13 @@ def mitigation_flags(mitigation: str) -> list[float]:
     return [1.0 if t in techniques else 0.0 for t in _TECHNIQUES]
 
 
-def fidelity_features(
-    metrics: CircuitMetrics,
-    shots: int,
-    mitigation: str,
-    calibration: CalibrationData,
+# ----------------------------------------------------------------------
+# Job parts (calibration-independent).
+
+def job_fidelity_features(
+    metrics: CircuitMetrics, shots: int, mitigation: str
 ) -> np.ndarray:
-    """Feature vector for the fidelity model."""
-    nm = calibration.noise_model
-    t1 = float(np.mean([q.t1_us for q in nm.qubits]))
-    t2 = float(np.mean([q.t2_us for q in nm.qubits]))
+    """Circuit/shots/mitigation columns of the fidelity feature vector."""
     return np.array(
         [
             float(metrics.num_qubits),
@@ -88,11 +95,63 @@ def fidelity_features(
             float(min(metrics.max_interaction_degree, 8)),
             math.log10(max(1, shots)),
             *mitigation_flags(mitigation),
-            nm.mean_gate_error_2q() * 100.0,
-            nm.mean_gate_error_1q() * 1000.0,
-            nm.mean_readout_error() * 100.0,
-            100.0 / t1,
-            100.0 / t2,
+        ]
+    )
+
+
+def job_runtime_features(
+    metrics: CircuitMetrics, shots: int, mitigation: str
+) -> np.ndarray:
+    """Circuit/shots/mitigation columns of the runtime feature vector."""
+    return np.array(
+        [
+            float(metrics.num_qubits),
+            float(metrics.depth),
+            float(metrics.num_2q_gates),
+            float(metrics.two_qubit_depth),
+            float(min(metrics.max_interaction_degree, 8)),
+            shots / 1000.0,
+            *mitigation_flags(mitigation),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Calibration parts.
+
+def calibration_fidelity_features(calibration: CalibrationData) -> np.ndarray:
+    """QPU-quality columns of the fidelity feature vector."""
+    agg = calibration.aggregates()
+    return np.array(
+        [
+            agg.error_2q * 100.0,
+            agg.error_1q * 1000.0,
+            agg.readout_error * 100.0,
+            100.0 / agg.t1_us,
+            100.0 / agg.t2_us,
+        ]
+    )
+
+
+def calibration_runtime_features(calibration: CalibrationData) -> np.ndarray:
+    """QPU-speed columns of the runtime feature vector."""
+    return np.array([calibration.aggregates().duration_2q_ns])
+
+
+# ----------------------------------------------------------------------
+# Full vectors.
+
+def fidelity_features(
+    metrics: CircuitMetrics,
+    shots: int,
+    mitigation: str,
+    calibration: CalibrationData,
+) -> np.ndarray:
+    """Feature vector for the fidelity model."""
+    return np.concatenate(
+        [
+            job_fidelity_features(metrics, shots, mitigation),
+            calibration_fidelity_features(calibration),
         ]
     )
 
@@ -104,20 +163,27 @@ def runtime_features(
     calibration: CalibrationData,
 ) -> np.ndarray:
     """Feature vector for the quantum-execution-time model."""
-    nm = calibration.noise_model
-    if nm.gates_2q:
-        dur_2q = float(np.mean([g.duration_ns for g in nm.gates_2q.values()]))
-    else:
-        dur_2q = nm.default_2q.duration_ns
-    return np.array(
+    return np.concatenate(
         [
-            float(metrics.num_qubits),
-            float(metrics.depth),
-            float(metrics.num_2q_gates),
-            float(metrics.two_qubit_depth),
-            float(min(metrics.max_interaction_degree, 8)),
-            shots / 1000.0,
-            *mitigation_flags(mitigation),
-            dur_2q,
+            job_runtime_features(metrics, shots, mitigation),
+            calibration_runtime_features(calibration),
         ]
     )
+
+
+def fidelity_features_batch(
+    job_rows: np.ndarray, calibration: CalibrationData
+) -> np.ndarray:
+    """(n, 16) fidelity feature matrix from precomputed job rows."""
+    job_rows = np.atleast_2d(job_rows)
+    cal = calibration_fidelity_features(calibration)
+    return np.hstack([job_rows, np.tile(cal, (job_rows.shape[0], 1))])
+
+
+def runtime_features_batch(
+    job_rows: np.ndarray, calibration: CalibrationData
+) -> np.ndarray:
+    """(n, 11) runtime feature matrix from precomputed job rows."""
+    job_rows = np.atleast_2d(job_rows)
+    cal = calibration_runtime_features(calibration)
+    return np.hstack([job_rows, np.tile(cal, (job_rows.shape[0], 1))])

@@ -16,7 +16,12 @@ from ..backends.calibration import CalibrationData
 from ..circuits.metrics import CircuitMetrics
 from ..ml import cross_val_score, make_polynomial_regression, r2_score
 from .dataset import EstimatorDataset
-from .features import fidelity_features, runtime_features
+from .features import (
+    fidelity_features,
+    fidelity_features_batch,
+    runtime_features,
+    runtime_features_batch,
+)
 
 __all__ = ["RegressionEstimator", "TrainedEstimators", "train_estimators"]
 
@@ -70,6 +75,30 @@ class TrainedEstimators:
     ) -> float:
         x = runtime_features(metrics, shots, mitigation, calibration)
         return float(self.runtime.predict(x[None, :])[0])
+
+    def estimate_fidelity_batch(
+        self, job_rows: np.ndarray, calibration: CalibrationData
+    ) -> np.ndarray:
+        """Predict fidelities for many jobs on one calibration snapshot.
+
+        ``job_rows`` are :func:`~repro.estimator.features.job_fidelity_features`
+        rows; one pipeline pass replaces n single-row predictions.
+        """
+        if len(job_rows) == 0:
+            return np.zeros(0)
+        return self.fidelity.predict(
+            fidelity_features_batch(job_rows, calibration)
+        )
+
+    def estimate_runtime_batch(
+        self, job_rows: np.ndarray, calibration: CalibrationData
+    ) -> np.ndarray:
+        """Predict runtimes for many jobs on one calibration snapshot."""
+        if len(job_rows) == 0:
+            return np.zeros(0)
+        return self.runtime.predict(
+            runtime_features_batch(job_rows, calibration)
+        )
 
 
 def _select_and_fit(

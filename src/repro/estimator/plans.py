@@ -19,6 +19,7 @@ from ..circuits.metrics import CircuitMetrics
 from ..mitigation.stack import STANDARD_STACKS, MitigationStack
 from ..moo.sorting import pareto_front_mask
 from .cost import plan_cost
+from .features import job_fidelity_features, job_runtime_features
 from .models import TrainedEstimators
 
 __all__ = ["ResourcePlan", "generate_resource_plans"]
@@ -75,19 +76,25 @@ def generate_resource_plans(
     if num_plans < 1:
         raise ValueError("num_plans must be >= 1")
     names = mitigations or list(STANDARD_STACKS)
+    # One vectorized pipeline pass per template scores every mitigation
+    # stack at once (the sweep is the API server's per-request hot path).
+    fid_rows = np.array(
+        [job_fidelity_features(metrics, shots, mit) for mit in names]
+    )
+    run_rows = np.array(
+        [job_runtime_features(metrics, shots, mit) for mit in names]
+    )
     candidates: list[ResourcePlan] = []
     for model_name, template in templates.items():
         if template.num_qubits < metrics.num_qubits:
             continue
-        for mitigation in names:
-            fid = estimators.estimate_fidelity(
-                metrics, shots, mitigation, template.calibration
-            )
+        fids = estimators.estimate_fidelity_batch(fid_rows, template.calibration)
+        q_secs = estimators.estimate_runtime_batch(run_rows, template.calibration)
+        for mitigation, fid, q_sec in zip(names, fids, q_secs):
+            fid = float(fid)
+            q_sec = float(q_sec)
             if fid < min_fidelity:
                 continue
-            q_sec = estimators.estimate_runtime(
-                metrics, shots, mitigation, template.calibration
-            )
             for tier in classical_tiers:
                 c_sec = _classical_seconds(metrics, mitigation, tier)
                 cost = plan_cost(q_sec, c_sec, classical_tier=tier)

@@ -75,7 +75,7 @@ def fig10b_priorities(*, num_jobs: int = 100, seed: int = 9) -> dict:
     picks = {}
     for pref in ("jct", "balanced", "fidelity"):
         scheduler = QonductorScheduler(
-            estimator.estimate_for_qpu, preference=pref, seed=seed,
+            estimator.cached(), preference=pref, seed=seed,
             max_generations=40, pop_size=80,
         )
         schedule = scheduler.schedule(list(jobs), fleet, dict(waiting))

@@ -36,11 +36,11 @@ def fig6_end_to_end(
         em = ExecutionModel(seed=11)
         if policy_name == "qonductor":
             policy = QonductorScheduler(
-                estimator.estimate_for_qpu, preference="balanced", seed=seed,
+                estimator.cached(), preference="balanced", seed=seed,
                 max_generations=25,
             )
         else:
-            policy = FCFSPolicy(estimator.estimate_for_qpu)
+            policy = FCFSPolicy(estimator.cached())
         sim = CloudSimulator(
             fleet,
             policy,

@@ -39,7 +39,7 @@ def run_scheduling_cycles(
     fleet = fleet or make_fleet(seed=7)
     estimator = estimator or trained_estimator(seed=7)
     scheduler = QonductorScheduler(
-        estimator.estimate_for_qpu, preference=preference, seed=seed,
+        estimator.cached(), preference=preference, seed=seed,
         max_generations=30,
     )
     sampler = WorkloadSampler(
@@ -133,7 +133,7 @@ def fig8c_load_balance(
         sim = CloudSimulator(
             fleet,
             QonductorScheduler(
-                estimator.estimate_for_qpu, preference="balanced", seed=seed,
+                estimator.cached(), preference="balanced", seed=seed,
                 max_generations=25,
             ),
             ExecutionModel(seed=11),

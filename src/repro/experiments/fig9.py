@@ -30,7 +30,7 @@ def _run_sim(num_qpus: int, rate: float, duration: float, seed: int):
     sim = CloudSimulator(
         fleet,
         QonductorScheduler(
-            estimator.estimate_for_qpu, preference="balanced", seed=seed,
+            estimator.cached(), preference="balanced", seed=seed,
             max_generations=20,
         ),
         ExecutionModel(seed=11),
@@ -123,7 +123,7 @@ def fig9c_stage_runtimes(
     for size in sizes:
         fleet = fleet_of_size(size, seed=7)
         scheduler = QonductorScheduler(
-            estimator.estimate_for_qpu, seed=seed, max_generations=30
+            estimator.cached(), seed=seed, max_generations=30
         )
         schedule = scheduler.schedule(batch, fleet, {q.name: 0.0 for q in fleet})
         stages[size] = {k: round(v, 4) for k, v in schedule.stage_seconds.items()}

@@ -78,7 +78,7 @@ class Qonductor:
         ]
         self.classical_scheduler = ClassicalScheduler(nodes)
         self.scheduler = QonductorScheduler(
-            self.estimator.estimate_for_qpu, preference=preference, seed=seed
+            self.estimator.cached(), preference=preference, seed=seed
         )
         self.job_manager = JobManager(
             self.scheduler,

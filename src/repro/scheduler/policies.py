@@ -5,6 +5,10 @@
   (standard current practice, which is what creates hotspots, §3).
 * :class:`LeastBusyPolicy` — IBM's ``least_busy`` selector [15].
 * :class:`RandomPolicy` — load-oblivious control.
+
+When the estimate source exposes the ``estimate_matrix`` fast path (see
+:class:`~repro.estimator.cache.CachedEstimator`), FCFS scores a whole batch
+in one vectorized pass; per-pair calls remain the fallback.
 """
 
 from __future__ import annotations
@@ -14,11 +18,17 @@ from collections.abc import Callable
 import numpy as np
 
 from ..backends.qpu import QPU
-from ..cloud.job import QuantumJob
+from ..cloud.job import QuantumJob, feasibility_matrix
 
 __all__ = ["FCFSPolicy", "LeastBusyPolicy", "RandomPolicy"]
 
 EstimateFn = Callable[[QuantumJob, QPU], tuple[float, float]]
+
+
+def _forward_recalibration(estimate_fn, qpus: list[QPU]) -> None:
+    hook = getattr(estimate_fn, "on_recalibration", None)
+    if hook is not None:
+        hook(qpus)
 
 
 class FCFSPolicy:
@@ -29,12 +39,19 @@ class FCFSPolicy:
     def __init__(self, estimate_fn: EstimateFn) -> None:
         self.estimate_fn = estimate_fn
 
+    def on_recalibration(self, qpus: list[QPU]) -> None:
+        _forward_recalibration(self.estimate_fn, qpus)
+
     def assign(
         self,
         jobs: list[QuantumJob],
         qpus: list[QPU],
         waiting_seconds: dict[str, float],
     ) -> list[tuple[QuantumJob, str | None]]:
+        if not jobs:
+            return []
+        if hasattr(self.estimate_fn, "estimate_matrix"):
+            return self._assign_vectorized(jobs, qpus)
         out: list[tuple[QuantumJob, str | None]] = []
         for job in jobs:
             feasible = [q for q in qpus if q.online and q.num_qubits >= job.num_qubits]
@@ -45,6 +62,19 @@ class FCFSPolicy:
             out.append((job, best.name))
         return out
 
+    def _assign_vectorized(
+        self, jobs: list[QuantumJob], qpus: list[QPU]
+    ) -> list[tuple[QuantumJob, str | None]]:
+        feas = feasibility_matrix(jobs, qpus)
+        fid, _ = self.estimate_fn.estimate_matrix(jobs, qpus, feas)
+        scored = np.where(feas, fid, -np.inf)
+        # argmax returns the first maximum, matching max() in the fallback.
+        best = scored.argmax(axis=1)
+        return [
+            (job, qpus[best[i]].name if feas[i].any() else None)
+            for i, job in enumerate(jobs)
+        ]
+
 
 class LeastBusyPolicy:
     """Each job goes to the feasible QPU with the shortest queue."""
@@ -53,6 +83,9 @@ class LeastBusyPolicy:
 
     def __init__(self, estimate_fn: EstimateFn) -> None:
         self.estimate_fn = estimate_fn
+
+    def on_recalibration(self, qpus: list[QPU]) -> None:
+        _forward_recalibration(self.estimate_fn, qpus)
 
     def assign(
         self,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..backends.qpu import QPU
-from ..cloud.job import QuantumJob
+from ..cloud.job import QuantumJob, feasibility_matrix
 from ..moo import NSGA2, Termination, select_by_preference
 from .formulation import SchedulingInput, SchedulingProblem
 
@@ -97,11 +97,15 @@ class QonductorScheduler:
     def on_recalibration(self, qpus: list[QPU]) -> None:
         """Calibration-cycle hook (called by the cloud simulator).
 
-        The standard wiring passes the resource estimator's
-        ``refresh_templates`` so template averages track fresh calibration
-        data; estimate_fn closures over per-QPU calibration pick up the new
-        snapshots automatically.
+        Forwards to a caching ``estimate_fn`` (so memoized estimates from
+        the dead calibration epoch are dropped) and to the optional
+        ``on_recalibrate`` callback — the standard wiring passes the
+        resource estimator's ``refresh_templates`` so template averages
+        track fresh calibration data.
         """
+        fn_hook = getattr(self.estimate_fn, "on_recalibration", None)
+        if fn_hook is not None:
+            fn_hook(qpus)
         if self._on_recalibrate is not None:
             self._on_recalibrate(qpus)
 
@@ -110,6 +114,11 @@ class QonductorScheduler:
         self, jobs: list[QuantumJob], qpus: list[QPU], waiting_seconds: dict[str, float]
     ) -> tuple[SchedulingInput | None, list[QuantumJob], list[QuantumJob]]:
         """Stage 1: filter and build estimate matrices.
+
+        When ``estimate_fn`` exposes an ``estimate_matrix`` fast path (see
+        :class:`~repro.estimator.cache.CachedEstimator`), the whole pending
+        set is scored in vectorized array passes instead of one estimator
+        call per (job, QPU) pair.
 
         Returns (input | None, schedulable_jobs, filtered_out_jobs).
         """
@@ -120,15 +129,16 @@ class QonductorScheduler:
         if not schedulable or not online:
             return None, schedulable, rejected
         n, m = len(schedulable), len(online)
-        fid = np.zeros((n, m))
-        sec = np.zeros((n, m))
-        feas = np.zeros((n, m), dtype=bool)
-        for i, job in enumerate(schedulable):
-            for k, qpu in enumerate(online):
-                if job.num_qubits > qpu.num_qubits:
-                    continue
-                feas[i, k] = True
-                fid[i, k], sec[i, k] = self.estimate_fn(job, qpu)
+        feas = feasibility_matrix(schedulable, online)
+        if hasattr(self.estimate_fn, "estimate_matrix"):
+            fid, sec = self.estimate_fn.estimate_matrix(schedulable, online, feas)
+        else:
+            fid = np.zeros((n, m))
+            sec = np.zeros((n, m))
+            for i, job in enumerate(schedulable):
+                for k, qpu in enumerate(online):
+                    if feas[i, k]:
+                        fid[i, k], sec[i, k] = self.estimate_fn(job, qpu)
         wait = np.array([waiting_seconds.get(q.name, 0.0) for q in online])
         data = SchedulingInput(
             fidelity=fid, exec_seconds=sec, waiting_seconds=wait, feasible=feas
@@ -173,8 +183,12 @@ class QonductorScheduler:
         t_sel = time.perf_counter() - t0
 
         rows = np.arange(data.num_jobs)
-        front_exec = np.array(
-            [data.exec_seconds[rows, x].mean() for x in result.X]
+        # Mean per-job execution time of every front solution, in one
+        # fancy-indexing pass over (front, jobs).
+        front_exec = (
+            data.exec_seconds[rows[None, :], np.atleast_2d(result.X)].mean(axis=1)
+            if len(result.X)
+            else np.zeros(0)
         )
 
         decisions = [

@@ -114,6 +114,7 @@ class WorkloadSampler:
         max_qubits: int = 130,
         mitigation_fraction: float = 0.5,
         benchmarks: list[str] | None = None,
+        shots_choices: tuple[int, ...] | None = None,
         seed: int | None = None,
     ) -> None:
         self.mean_qubits = mean_qubits
@@ -121,6 +122,12 @@ class WorkloadSampler:
         self.min_qubits = min_qubits
         self.max_qubits = max_qubits
         self.mitigation_fraction = mitigation_fraction
+        #: When set, shots are drawn from this grid instead of the
+        #: log-uniform continuum — real cloud users overwhelmingly request
+        #: round shot counts, which is what makes estimate caching pay off.
+        if shots_choices is not None and len(shots_choices) == 0:
+            raise ValueError("shots_choices must be non-empty when given")
+        self.shots_choices = shots_choices
         self.benchmarks = benchmarks or [
             n
             for n in benchmark_names()
@@ -140,7 +147,10 @@ class WorkloadSampler:
         width = int(min(hi, max(lo, width)))
         self._counter += 1
         circ = generate(name, width, seed=self._counter)
-        shots = int(2 ** rng.uniform(10, 14.3))  # ~1k .. ~20k
+        if self.shots_choices is not None:
+            shots = int(self.shots_choices[int(rng.integers(len(self.shots_choices)))])
+        else:
+            shots = int(2 ** rng.uniform(10, 14.3))  # ~1k .. ~20k
         uses_mit = bool(rng.random() < self.mitigation_fraction)
         return SampledJob(
             circuit=circ, shots=shots, benchmark=name, uses_mitigation=uses_mit

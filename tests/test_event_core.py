@@ -1,0 +1,244 @@
+"""Event-queue and estimate-cache tests for the event-driven cloud core.
+
+Covers: determinism under seeded arrivals, completion-event aggregates
+matching the definitional (rescan) metrics, idle trigger cadence, cache
+keying/invalidation on recalibration, eviction bounds, and equivalence of
+scheduler decisions with and without the cache on a small fleet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import default_fleet
+from repro.cloud import (
+    CloudSimulator,
+    ExecutionModel,
+    LoadGenerator,
+    QuantumJob,
+    SimulationConfig,
+)
+from repro.estimator import CachedEstimator, EstimateCache
+from repro.experiments.common import trained_estimator
+from repro.scheduler import FCFSPolicy, QonductorScheduler, SchedulingTrigger
+from repro.workloads import WorkloadSampler, ghz_linear
+
+
+def _fake_estimate(job, qpu):
+    # Varies by pair so assignment decisions are not degenerate.
+    return 0.5 + 0.4 / (1 + job.num_qubits + len(qpu.name)), 12.0
+
+
+def _run(policy_maker, *, seed=4, duration=900.0, rate=600, recal=None):
+    gen = LoadGenerator(mean_rate_per_hour=rate, max_qubits=27, seed=seed)
+    apps = gen.generate(duration)
+    fleet = default_fleet(seed=7, names=["auckland", "algiers", "lagos"])
+    sim = CloudSimulator(
+        fleet,
+        policy_maker(),
+        ExecutionModel(seed=5),
+        trigger=SchedulingTrigger(queue_limit=20, interval_seconds=60),
+        config=SimulationConfig(
+            duration_seconds=duration, seed=5, recalibrate_every_seconds=recal
+        ),
+    )
+    return apps, sim.run(apps)
+
+
+class TestEventCore:
+    def test_deterministic_under_seeded_arrivals(self):
+        series = []
+        for _ in range(2):
+            _, m = _run(lambda: FCFSPolicy(_fake_estimate))
+            series.append(m)
+        a, b = series
+        assert a.completed_jobs == b.completed_jobs
+        assert a.events_processed == b.events_processed
+        for attr in (
+            "mean_fidelity",
+            "mean_completion_time",
+            "mean_utilization",
+            "scheduler_queue_size",
+        ):
+            at, av = getattr(a, attr).as_arrays()
+            bt, bv = getattr(b, attr).as_arrays()
+            assert np.array_equal(at, bt) and np.array_equal(av, bv)
+
+    def test_completion_aggregates_match_rescan(self):
+        """Running aggregates must equal the definitional rescan metrics."""
+        duration = 900.0
+        apps, m = _run(lambda: FCFSPolicy(_fake_estimate), duration=duration)
+        done = [
+            a
+            for a in apps
+            if a.finish_time is not None and a.finish_time <= duration
+        ]
+        assert done, "scenario must finish some apps inside the horizon"
+        expect_jct = float(np.mean([a.completion_time for a in done]))
+        expect_fid = float(
+            np.mean([a.quantum_job.fidelity for a in done])
+        )
+        assert m.mean_completion_time.last() == pytest.approx(expect_jct)
+        assert m.mean_fidelity.last() == pytest.approx(expect_fid)
+
+    def test_event_counts(self):
+        apps, m = _run(lambda: FCFSPolicy(_fake_estimate))
+        # Arrivals + at least the in-horizon completions + samples.
+        assert m.events_processed > len(apps)
+        assert m.wall_seconds > 0
+        assert m.events_per_second > 0
+
+    def test_idle_trigger_cadence(self):
+        """With no arrivals the trigger ticks but never schedules."""
+        fleet = default_fleet(seed=7, names=["lagos"])
+        sim = CloudSimulator(
+            fleet,
+            QonductorScheduler(_fake_estimate, seed=1, max_generations=5),
+            ExecutionModel(seed=5),
+            trigger=SchedulingTrigger(queue_limit=10, interval_seconds=60),
+            config=SimulationConfig(duration_seconds=600.0, seed=1),
+        )
+        m = sim.run([])
+        assert m.scheduling_cycles == 0
+        assert m.completed_jobs == 0
+        # 9 trigger deadlines (60..540) + 4 samples (120..480) inside t<600.
+        assert m.events_processed == 13
+
+    def test_recalibration_still_fires(self):
+        fleet = default_fleet(seed=7, names=["lagos"])
+        sim = CloudSimulator(
+            fleet,
+            FCFSPolicy(_fake_estimate),
+            ExecutionModel(seed=5),
+            config=SimulationConfig(
+                duration_seconds=300.0, recalibrate_every_seconds=100.0, seed=1
+            ),
+        )
+        sim.run([])
+        assert fleet[0].cycle >= 2
+
+
+class TestEstimateCache:
+    def test_hits_on_repeat_and_epoch_invalidation(self):
+        calls = []
+
+        def base(job, qpu):
+            calls.append((job.job_id, qpu.name))
+            return 0.9, 10.0
+
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        cached = CachedEstimator(base)
+        job = QuantumJob.from_circuit(ghz_linear(5), shots=1024)
+        assert cached(job, qpu) == (0.9, 10.0)
+        assert cached(job, qpu) == (0.9, 10.0)
+        assert len(calls) == 1  # second lookup hit
+        # Same circuit shape in a different job object: content-addressed.
+        twin = QuantumJob.from_circuit(ghz_linear(5), shots=1024)
+        cached(twin, qpu)
+        assert len(calls) == 1
+        # A new calibration epoch must miss.
+        qpu.recalibrate()
+        cached(job, qpu)
+        assert len(calls) == 2
+        assert cached.stats.hits == 2 and cached.stats.misses == 2
+
+    def test_on_recalibration_invalidates(self):
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        cached = CachedEstimator(lambda j, q: (0.8, 5.0))
+        job = QuantumJob.from_circuit(ghz_linear(4), shots=2048)
+        cached(job, qpu)
+        assert len(cached.cache) == 1
+        cached.on_recalibration([qpu])
+        assert len(cached.cache) == 0
+        assert cached.stats.invalidations == 1
+
+    def test_eviction_bound(self):
+        cache = EstimateCache(max_entries=10)
+        for i in range(25):
+            cache.put(("fp", i), (0.5, 1.0))
+        assert len(cache) <= 10
+        # Newest entries survive the generational eviction.
+        assert cache.get(("fp", 24)) is not None
+
+    def test_eviction_bound_degenerate(self):
+        cache = EstimateCache(max_entries=1)
+        for i in range(5):
+            cache.put(("fp", i), (0.5, 1.0))
+        assert len(cache) == 1
+        assert cache.get(("fp", 4)) is not None
+
+    def test_execution_component_cache(self):
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        em = ExecutionModel(seed=1)
+        job = QuantumJob.from_circuit(ghz_linear(6), shots=4000)
+        c1 = em.log_error_components(job.metrics, qpu.calibration, qpu.model)
+        c2 = em.log_error_components(job.metrics, qpu.calibration, qpu.model)
+        assert c1 is c2  # memoized
+        assert len(em._comp_cache) == 1
+        qpu.recalibrate()
+        c3 = em.log_error_components(job.metrics, qpu.calibration, qpu.model)
+        assert c3 is not c1 and len(em._comp_cache) == 2
+        em.on_recalibration()
+        assert len(em._comp_cache) == 0
+
+
+class TestCacheEquivalence:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        names = ("auckland", "algiers")
+        estimator = trained_estimator(seed=7, names=names, num_records=150)
+        fleet = default_fleet(seed=7, names=list(names))
+        sampler = WorkloadSampler(
+            mean_qubits=6,
+            std_qubits=3,
+            max_qubits=27,
+            shots_choices=(1024, 4096),
+            seed=9,
+        )
+        jobs = [
+            QuantumJob.from_circuit(
+                s.circuit,
+                shots=s.shots,
+                mitigation="zne+rem" if s.uses_mitigation else "none",
+                keep_circuit=False,
+            )
+            for s in sampler.sample_many(12)
+        ]
+        return estimator, fleet, jobs
+
+    def test_matrix_matches_pairwise(self, setup):
+        estimator, fleet, jobs = setup
+        fid, sec = estimator.cached().estimate_matrix(jobs, fleet)
+        for i, job in enumerate(jobs):
+            for k, qpu in enumerate(fleet):
+                if job.num_qubits > qpu.num_qubits:
+                    assert fid[i, k] == 0.0 and sec[i, k] == 0.0
+                    continue
+                pf, ps = estimator.estimate_for_qpu(job, qpu)
+                assert fid[i, k] == pytest.approx(pf, rel=1e-9)
+                assert sec[i, k] == pytest.approx(ps, rel=1e-9)
+
+    def test_scheduler_decisions_equivalent(self, setup):
+        """Same NSGA-II seed, with and without the cache: same assignment."""
+        estimator, fleet, jobs = setup
+        waiting = {q.name: 0.0 for q in fleet}
+        plain = QonductorScheduler(
+            estimator.estimate_for_qpu, seed=3, max_generations=10
+        ).schedule(list(jobs), fleet, dict(waiting))
+        cached_fn = estimator.cached()
+        cached = QonductorScheduler(
+            cached_fn, seed=3, max_generations=10
+        ).schedule(list(jobs), fleet, dict(waiting))
+        a = {d.job.job_id: d.qpu_name for d in plain.decisions}
+        b = {d.job.job_id: d.qpu_name for d in cached.decisions}
+        assert a == b
+        for da, db in zip(plain.decisions, cached.decisions):
+            assert da.est_fidelity == pytest.approx(db.est_fidelity, rel=1e-9)
+            assert da.est_exec_seconds == pytest.approx(
+                db.est_exec_seconds, rel=1e-9
+            )
+        # Second cached cycle over the same pending set is served from memo.
+        before = cached_fn.stats.hits
+        QonductorScheduler(cached_fn, seed=3, max_generations=10).schedule(
+            list(jobs), fleet, dict(waiting)
+        )
+        assert cached_fn.stats.hits > before
