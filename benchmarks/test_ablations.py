@@ -6,7 +6,7 @@ import numpy as np
 from repro.backends import default_fleet
 from repro.cloud.job import QuantumJob
 from repro.moo import NSGA2, Termination, pareto_front_mask
-from repro.scheduler import QonductorScheduler, SchedulingTrigger
+from repro.scheduler import SchedulingTrigger
 from repro.scheduler.formulation import SchedulingProblem
 from repro.workloads import WorkloadSampler
 

@@ -1,8 +1,7 @@
 """Fig 10(a): mean execution time of scheduled jobs vs front extremes."""
 
-from repro.experiments import fig10a_exec_time
-
 from conftest import report
+from repro.experiments import fig10a_exec_time
 
 
 def test_fig10a_exec_time(once):

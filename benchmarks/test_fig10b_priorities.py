@@ -1,8 +1,7 @@
 """Fig 10(b): MCDM preference vectors pick matching front solutions."""
 
-from repro.experiments import fig10b_priorities
-
 from conftest import report
+from repro.experiments import fig10b_priorities
 
 
 def test_fig10b_priorities(once):

@@ -1,8 +1,7 @@
 """Fig 2(a): circuit cutting's fidelity and runtime impact."""
 
-from repro.experiments import fig2a_circuit_cutting
-
 from conftest import report
+from repro.experiments import fig2a_circuit_cutting
 
 
 def test_fig2a_circuit_cutting(once):

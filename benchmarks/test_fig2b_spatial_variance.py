@@ -1,8 +1,7 @@
 """Fig 2(b): spatial performance variance of GHZ-12 across QPUs."""
 
-from repro.experiments import fig2b_spatial_variance
-
 from conftest import report
+from repro.experiments import fig2b_spatial_variance
 
 
 def test_fig2b_spatial_variance(once):

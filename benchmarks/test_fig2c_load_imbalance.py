@@ -1,8 +1,7 @@
 """Fig 2(c): QPU queue-size imbalance over a week."""
 
-from repro.experiments import fig2c_load_imbalance
-
 from conftest import report
+from repro.experiments import fig2c_load_imbalance
 
 
 def test_fig2c_load_imbalance(once):

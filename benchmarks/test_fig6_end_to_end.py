@@ -1,8 +1,7 @@
 """Fig 6: end-to-end Qonductor vs FCFS (fidelity, JCT, utilization)."""
 
-from repro.experiments import fig6_end_to_end
-
 from conftest import report
+from repro.experiments import fig6_end_to_end
 
 
 def test_fig6_end_to_end(once):

@@ -1,8 +1,7 @@
 """Fig 7(a): Pareto front of fidelity-runtime resource plans (QAOA-20)."""
 
-from repro.experiments import fig7a_resource_plans
-
 from conftest import report
+from repro.experiments import fig7a_resource_plans
 
 
 def test_fig7a_resource_plans(once):

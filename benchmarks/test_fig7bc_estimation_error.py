@@ -2,9 +2,8 @@
 
 import numpy as np
 
-from repro.experiments import fig7bc_estimation_error
-
 from conftest import report
+from repro.experiments import fig7bc_estimation_error
 
 
 def test_fig7bc_estimation_error(once):

@@ -1,8 +1,7 @@
 """Fig 8(a, b): per-cycle Pareto front vs the chosen solution."""
 
-from repro.experiments import fig8ab_tradeoff
-
 from conftest import report
+from repro.experiments import fig8ab_tradeoff
 
 
 def test_fig8ab_scheduler_tradeoff(once):

@@ -1,8 +1,7 @@
 """Fig 8(c): per-QPU load at 1500/3000/4500 jobs/hour."""
 
-from repro.experiments import fig8c_load_balance
-
 from conftest import report
+from repro.experiments import fig8c_load_balance
 
 
 def test_fig8c_load_balance(once):

@@ -1,8 +1,7 @@
 """Fig 9(a): mean JCT vs quantum cluster size (4/8/16 QPUs)."""
 
-from repro.experiments import fig9a_cluster_scaling
-
 from conftest import report
+from repro.experiments import fig9a_cluster_scaling
 
 
 def test_fig9a_cluster_scaling(once):

@@ -1,8 +1,7 @@
 """Fig 9(b): scheduler queue stability up to 3x the IBM load."""
 
-from repro.experiments import fig9b_load_scaling
-
 from conftest import report
+from repro.experiments import fig9b_load_scaling
 
 
 def test_fig9b_load_scaling(once):

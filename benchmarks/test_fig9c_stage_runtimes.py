@@ -1,8 +1,7 @@
 """Fig 9(c): per-stage scheduler runtime vs cluster size."""
 
-from repro.experiments import fig9c_stage_runtimes
-
 from conftest import report
+from repro.experiments import fig9c_stage_runtimes
 
 
 def test_fig9c_stage_runtimes(once):

@@ -15,6 +15,7 @@ import json
 import pathlib
 import time
 
+from conftest import report
 from repro.backends.fleet import fleet_of_size
 from repro.cloud import (
     CloudSimulator,
@@ -22,10 +23,8 @@ from repro.cloud import (
     LoadGenerator,
     SimulationConfig,
 )
-from repro.scheduler import QonductorScheduler, SchedulingTrigger
-
-from conftest import report
 from repro.experiments.common import trained_estimator
+from repro.scheduler import FCFSPolicy, QonductorScheduler, SchedulingTrigger
 
 ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
 
@@ -94,3 +93,74 @@ def test_perf_event_core_10k_jobs():
     assert metrics.events_processed > len(apps)  # arrivals + completions + ticks
     # Round shot counts + repeated circuit shapes must produce real reuse.
     assert metrics.estimate_cache["hit_rate"] > 0.2
+
+
+def test_perf_sharded_100k_jobs():
+    """Cloud-scale stress: 100k streamed jobs over a 64-QPU, 8-shard fleet.
+
+    Arrivals are pulled lazily from ``iter_arrivals`` (never materialized)
+    and drawn from a 512-program resubmission pool, so peak memory is
+    independent of the job count; the least-loaded balancer spreads work
+    over per-shard FCFS schedulers sharing one estimate cache.
+    """
+    rate = 200_000.0  # jobs/hour — two orders past the paper's IBM band
+    num_jobs = 100_000
+    num_shards = 8
+    duration = num_jobs / rate * 3600.0
+    estimator = trained_estimator(seed=7)
+    cached = estimator.cached()
+    gen = LoadGenerator(
+        mean_rate_per_hour=rate,
+        diurnal=False,
+        shots_grid=SHOTS_GRID,
+        circuit_pool_size=512,
+        seed=3,
+    )
+    sim = CloudSimulator.sharded(
+        fleet_of_size(64, seed=7),
+        FCFSPolicy(cached),
+        num_shards=num_shards,
+        balancer="least_loaded",
+        execution_model=ExecutionModel(seed=11),
+        config=SimulationConfig(
+            duration_seconds=duration,
+            recalibrate_every_seconds=duration / 2.0,
+            seed=3,
+        ),
+    )
+    t0 = time.perf_counter()
+    metrics = sim.run(gen.iter_arrivals(duration))
+    wall = time.perf_counter() - t0
+
+    scheduled = metrics.completed_jobs + metrics.unschedulable_jobs
+    result = {
+        "paper": {},
+        "measured": {
+            "jobs": scheduled,
+            "num_qpus": 64,
+            "num_shards": metrics.num_shards,
+            "wall_seconds": round(wall, 3),
+            "events_processed": metrics.events_processed,
+            "events_per_second": round(metrics.events_per_second, 1),
+            "jobs_per_second": round(scheduled / max(wall, 1e-9), 1),
+            "peak_inflight_apps": metrics.peak_inflight_apps,
+            "per_shard_jobs": metrics.per_shard_jobs,
+            "estimate_cache": metrics.estimate_cache,
+        },
+    }
+    report("Perf: sharded fleet, 100k-job stress", result,
+           keys=[k for k in result["measured"] if k != "per_shard_jobs"])
+
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    artifact = ARTIFACT_DIR / "perf_sharded_100k.json"
+    artifact.write_text(json.dumps(result["measured"], indent=2) + "\n")
+
+    assert scheduled > 95_000
+    assert wall < 60.0
+    # Streaming: in-flight applications, not the stream, bound memory.
+    assert metrics.peak_inflight_apps <= 10
+    # Every shard took a share of the fleet-wide load.
+    assert len(metrics.per_shard_jobs) == num_shards
+    assert all(v > 0 for v in metrics.per_shard_jobs.values())
+    # The resubmission pool must keep the shared estimate cache hot.
+    assert metrics.estimate_cache["hit_rate"] > 0.8

@@ -1,8 +1,7 @@
 """Table 1: IBM Cloud pricing model."""
 
-from repro.experiments import table1_pricing
-
 from conftest import report
+from repro.experiments import table1_pricing
 
 
 def test_table1_pricing(once):

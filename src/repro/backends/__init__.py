@@ -1,6 +1,13 @@
 """QPU models, calibration data with temporal drift, the synthetic fleet,
 and template QPUs for scalable estimation."""
 
+from .calibration import (
+    CalibrationData,
+    average_calibrations,
+    sample_calibration,
+)
+from .drift import OUDrift
+from .fleet import FLEET_SPEC, default_fleet, fleet_of_size, make_fleet
 from .models import (
     MODELS,
     QPUModel,
@@ -8,14 +15,7 @@ from .models import (
     get_model,
     heavy_hex_like,
 )
-from .calibration import (
-    CalibrationData,
-    average_calibrations,
-    sample_calibration,
-)
-from .drift import OUDrift
 from .qpu import QPU
-from .fleet import FLEET_SPEC, default_fleet, fleet_of_size, make_fleet
 from .template import TemplateQPU, build_templates
 
 __all__ = [

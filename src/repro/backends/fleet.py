@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .models import MODELS, QPUModel, get_model, heavy_hex_like
+from .models import get_model
 from .qpu import QPU
 
 __all__ = ["default_fleet", "make_fleet", "FLEET_SPEC", "fleet_of_size"]

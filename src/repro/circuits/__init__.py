@@ -5,6 +5,8 @@ unitary semantics, an ordered-op circuit container, DAG conversion, and
 structural metrics.
 """
 
+from .circuit import Circuit
+from .dag import CircuitDAG, circuit_to_dag, dag_layers, dag_to_circuit
 from .gates import (
     GATE_SPECS,
     HARDWARE_BASIS,
@@ -16,8 +18,6 @@ from .gates import (
     is_parametric,
     is_two_qubit,
 )
-from .circuit import Circuit
-from .dag import CircuitDAG, circuit_to_dag, dag_layers, dag_to_circuit
 from .metrics import CircuitMetrics, compute_metrics
 
 __all__ = [

@@ -8,12 +8,11 @@ algebraic operations (composition, inversion, power, remapping).
 
 from __future__ import annotations
 
-import math
 from collections.abc import Iterable, Iterator
 
 import numpy as np
 
-from .gates import GATE_SPECS, Gate, inverse_gate
+from .gates import Gate, inverse_gate
 
 __all__ = ["Circuit"]
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, asdict
 
 from .circuit import Circuit
-from .dag import circuit_to_dag
 
 __all__ = ["CircuitMetrics", "compute_metrics"]
 

@@ -1,18 +1,23 @@
 """Cloud simulation substrate: jobs, the transpile proxy, the ground-truth
 execution model, simulated backends, load generation, and the simulator."""
 
-from .job import HybridApplication, JobStatus, QuantumJob, feasibility_matrix
-from .proxy import ProxyEntry, TranspileProxy
-from .execution import (
-    MITIGATION_EFFECTS,
-    ExecutionModel,
-    ExecutionRecord,
-)
 from .backend_sim import SimulatedQPU
+from .execution import MITIGATION_EFFECTS, ExecutionModel, ExecutionRecord
+from .fleet import (
+    FleetShard,
+    LeastLoadedBalancer,
+    QubitFitBalancer,
+    RoundRobinBalancer,
+    ShardBalancer,
+    make_balancer,
+    partition_fleet,
+)
+from .imbalance import QueueTrace, simulate_queue_imbalance
+from .job import HybridApplication, JobStatus, QuantumJob, feasibility_matrix
 from .loadgen import IBM_MEAN_RATE, IBM_RATE_BAND, LoadGenerator, diurnal_rate
 from .metrics import SimulationMetrics, TimeSeries
+from .proxy import ProxyEntry, TranspileProxy
 from .simulator import CloudSimulator, SimulationConfig
-from .imbalance import QueueTrace, simulate_queue_imbalance
 
 __all__ = [
     "HybridApplication",
@@ -25,6 +30,13 @@ __all__ = [
     "ExecutionModel",
     "ExecutionRecord",
     "SimulatedQPU",
+    "FleetShard",
+    "ShardBalancer",
+    "RoundRobinBalancer",
+    "LeastLoadedBalancer",
+    "QubitFitBalancer",
+    "make_balancer",
+    "partition_fleet",
     "IBM_MEAN_RATE",
     "IBM_RATE_BAND",
     "LoadGenerator",

@@ -1,0 +1,202 @@
+"""The fleet layer: shards and shard balancers for cloud-scale fleets.
+
+A single scheduler over a 64-256 QPU fleet is the scaling wall the paper's
+evaluation stops short of: the (jobs x QPUs) estimate matrices and the
+NSGA-II decision space both grow with fleet size, so one scheduling cycle
+gets slower exactly when load is heaviest.  Real cloud schedulers bound
+both by partitioning the fleet.  A :class:`FleetShard` owns a subset of
+QPUs plus its *own* scheduler/policy instance, pending queue, and
+scheduling trigger; a :class:`ShardBalancer` routes each incoming quantum
+job to one shard.  Per-shard matrices and decision spaces then stay
+bounded by the shard width regardless of total fleet size.
+
+Balancing strategies (all deterministic, so seeded runs reproduce):
+
+* :class:`RoundRobinBalancer` — cycle through the shards that can fit the
+  job's width.
+* :class:`LeastLoadedBalancer` — route to the feasible shard with the
+  least pending work (queued jobs plus device backlog).
+* :class:`QubitFitBalancer` — route to the feasible shard with the
+  tightest width fit, so narrow jobs keep wide devices free for wide jobs;
+  ties break on pending load.
+
+Every strategy restricts itself to shards owning at least one wide-enough
+QPU; when *no* shard fits, the job is routed anyway (to the strategy's
+pick over all shards) so the owning scheduler rejects it exactly like the
+unsharded simulator would — keeping 1-shard runs bit-identical to
+unsharded runs.
+"""
+
+from __future__ import annotations
+
+from ..backends.qpu import QPU
+from ..scheduler.triggers import SchedulingTrigger
+from .backend_sim import SimulatedQPU
+from .job import QuantumJob
+
+__all__ = [
+    "FleetShard",
+    "ShardBalancer",
+    "RoundRobinBalancer",
+    "LeastLoadedBalancer",
+    "QubitFitBalancer",
+    "make_balancer",
+    "partition_fleet",
+]
+
+#: Seconds of device backlog weighted like one pending job when comparing
+#: shard loads (a typical job occupies a QPU for tens of seconds).
+_BACKLOG_SECONDS_PER_JOB = 30.0
+
+
+class FleetShard:
+    """A fleet partition: some QPUs, one policy, one pending queue."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        backends: list[SimulatedQPU],
+        policy,
+        trigger: SchedulingTrigger | None = None,
+    ) -> None:
+        if not backends:
+            raise ValueError("a shard needs at least one QPU")
+        self.shard_id = shard_id
+        self.backends = backends
+        self.policy = policy
+        self.trigger = trigger or SchedulingTrigger()
+        self.pending: list[QuantumJob] = []
+        # Batched policies expose .schedule() (the Qonductor scheduler);
+        # per-arrival baselines expose .assign().
+        self.is_batched = hasattr(policy, "schedule")
+        self.max_qubits = max(b.num_qubits for b in backends)
+        self.jobs_routed = 0
+
+    @property
+    def qpus(self) -> list[QPU]:
+        return [b.qpu for b in self.backends]
+
+    def fits(self, job: QuantumJob) -> bool:
+        """Whether any QPU in this shard is wide enough for ``job``."""
+        return job.num_qubits <= self.max_qubits
+
+    def waiting_map(self, now: float) -> dict[str, float]:
+        return {b.name: b.waiting_seconds(now) for b in self.backends}
+
+    def pending_load(self, now: float) -> float:
+        """Pending work: queued jobs plus device backlog, in job units."""
+        backlog = sum(b.waiting_seconds(now) for b in self.backends)
+        return len(self.pending) + backlog / _BACKLOG_SECONDS_PER_JOB
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FleetShard(id={self.shard_id}, qpus={len(self.backends)}, "
+            f"max_qubits={self.max_qubits}, pending={len(self.pending)})"
+        )
+
+
+class ShardBalancer:
+    """Routes each arriving job to one shard.
+
+    Subclasses implement :meth:`pick` over a non-empty candidate list;
+    :meth:`route` narrows the candidates to width-feasible shards first
+    and falls back to all shards when none fits (so the owning scheduler
+    reports the job unschedulable, matching unsharded behavior).
+    """
+
+    name = "base"
+
+    def route(
+        self, job: QuantumJob, shards: list[FleetShard], now: float
+    ) -> FleetShard:
+        feasible = [s for s in shards if s.fits(job)]
+        return self.pick(job, feasible or shards, now)
+
+    def pick(
+        self, job: QuantumJob, shards: list[FleetShard], now: float
+    ) -> FleetShard:
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(ShardBalancer):
+    """Deterministic cycle over the feasible shards."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(
+        self, job: QuantumJob, shards: list[FleetShard], now: float
+    ) -> FleetShard:
+        shard = shards[self._next % len(shards)]
+        self._next += 1
+        return shard
+
+
+class LeastLoadedBalancer(ShardBalancer):
+    """Feasible shard with the least pending work; ties break on id."""
+
+    name = "least_loaded"
+
+    def pick(
+        self, job: QuantumJob, shards: list[FleetShard], now: float
+    ) -> FleetShard:
+        return min(shards, key=lambda s: (s.pending_load(now), s.shard_id))
+
+
+class QubitFitBalancer(ShardBalancer):
+    """Feasible shard with the tightest width fit (locality routing).
+
+    Narrow jobs land on narrow shards so wide shards keep capacity for
+    the jobs only they can serve; among equal fits the least-loaded
+    shard wins.
+    """
+
+    name = "qubit_fit"
+
+    def pick(
+        self, job: QuantumJob, shards: list[FleetShard], now: float
+    ) -> FleetShard:
+        return min(
+            shards,
+            key=lambda s: (
+                s.max_qubits - job.num_qubits,
+                s.pending_load(now),
+                s.shard_id,
+            ),
+        )
+
+
+_BALANCERS = {
+    RoundRobinBalancer.name: RoundRobinBalancer,
+    LeastLoadedBalancer.name: LeastLoadedBalancer,
+    QubitFitBalancer.name: QubitFitBalancer,
+}
+
+
+def make_balancer(strategy: str | ShardBalancer) -> ShardBalancer:
+    """Resolve a strategy name (or pass a balancer instance through)."""
+    if isinstance(strategy, ShardBalancer):
+        return strategy
+    if strategy not in _BALANCERS:
+        raise KeyError(
+            f"unknown balancer {strategy!r}; choose from {sorted(_BALANCERS)}"
+        )
+    return _BALANCERS[strategy]()
+
+
+def partition_fleet(fleet: list[QPU], num_shards: int) -> list[list[QPU]]:
+    """Deal ``fleet`` into ``num_shards`` interleaved groups.
+
+    Interleaving (shard ``i`` gets ``fleet[i::num_shards]``) spreads the
+    quality/width gradient of the standard fleets across shards, so every
+    shard holds both hot and cold devices.
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if num_shards > len(fleet):
+        raise ValueError(
+            f"cannot split {len(fleet)} QPUs into {num_shards} shards"
+        )
+    return [fleet[i::num_shards] for i in range(num_shards)]

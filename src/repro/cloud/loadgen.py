@@ -6,17 +6,23 @@ diurnal pattern. The load generator reproduces that: a sinusoidal diurnal
 rate profile bounded to the observed band, Poisson arrivals within it, and
 hybrid applications drawn from the workload sampler (random algorithms,
 normal widths, random shots, ~50 % requesting error mitigation).
+
+Arrivals can be **streamed**: :meth:`LoadGenerator.iter_arrivals` yields
+applications lazily in time order, so the simulator pulls the next arrival
+on demand and a 100k+ job run never materializes the full arrival list.
+:meth:`LoadGenerator.generate` is the eager view of the same stream (same
+seeds, bit-identical applications).
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..mitigation.stack import STANDARD_STACKS
-from .job import HybridApplication, QuantumJob
 from ..workloads.suite import WorkloadSampler
+from .job import HybridApplication, QuantumJob
 
 __all__ = ["LoadGenerator", "diurnal_rate", "IBM_MEAN_RATE", "IBM_RATE_BAND"]
 
@@ -32,11 +38,18 @@ def diurnal_rate(
     mean_rate: float = IBM_MEAN_RATE,
     band: tuple[float, float] = IBM_RATE_BAND,
 ) -> float:
-    """Sinusoidal day profile peaking mid-day, clipped to the IBM band."""
+    """Sinusoidal day profile peaking mid-day, clipped to the rate band.
+
+    ``band`` is expressed on the IBM scale; both the sinusoidal amplitude
+    and the clip band rescale with ``mean_rate / IBM_MEAN_RATE``, so a
+    scaled-up load profile keeps the measured *relative* diurnal swing
+    instead of a flattened absolute one.
+    """
     lo, hi = band
-    amplitude = (hi - lo) / 2.0
+    scale = mean_rate / IBM_MEAN_RATE
+    amplitude = (hi - lo) / 2.0 * scale
     rate = mean_rate + amplitude * np.sin((hour_of_day - 8.0) / 24.0 * 2 * np.pi)
-    return float(np.clip(rate, lo * mean_rate / IBM_MEAN_RATE, hi * mean_rate / IBM_MEAN_RATE))
+    return float(np.clip(rate, lo * scale, hi * scale))
 
 
 @dataclass
@@ -53,20 +66,43 @@ class LoadGenerator:
     #: Optional discrete shot grid (round numbers, as real users request);
     #: None keeps the paper's log-uniform continuum.
     shots_grid: tuple[int, ...] | None = None
+    #: Optional benchmark-name subset passed through to the sampler.
+    benchmarks: tuple[str, ...] | None = None
+    #: When set, pre-sample this many distinct programs and draw every
+    #: arrival from the pool (users resubmitting the same circuits, the
+    #: regime the estimate cache exploits); circuit construction cost then
+    #: scales with the pool, not the stream length.  None samples a fresh
+    #: program per arrival (the paper's continuum).
+    circuit_pool_size: int | None = None
     seed: int = 0
 
-    def generate(self, duration_seconds: float) -> list[HybridApplication]:
-        """All arrivals in [0, duration), sorted by arrival time."""
-        rng = np.random.default_rng(self.seed)
-        sampler = WorkloadSampler(
+    def _make_sampler(self) -> WorkloadSampler:
+        return WorkloadSampler(
             mean_qubits=self.mean_qubits,
             std_qubits=self.std_qubits,
             max_qubits=self.max_qubits,
             mitigation_fraction=self.mitigation_fraction,
+            benchmarks=list(self.benchmarks) if self.benchmarks else None,
             shots_choices=self.shots_grid,
             seed=self.seed + 1,
         )
-        apps: list[HybridApplication] = []
+
+    def iter_arrivals(
+        self, duration_seconds: float
+    ) -> Iterator[HybridApplication]:
+        """Lazily yield arrivals in [0, duration), in time order.
+
+        Holds O(circuit_pool_size) state; with no pool, O(1) applications
+        are alive at a time (whatever the consumer retains).
+        """
+        rng = np.random.default_rng(self.seed)
+        sampler = self._make_sampler()
+        pool: list[QuantumJob] | None = None
+        if self.circuit_pool_size:
+            pool = [
+                self._build_job(sampler.sample(), rng)
+                for _ in range(self.circuit_pool_size)
+            ]
         t = 0.0
         while True:
             hour = (t / 3600.0) % 24.0
@@ -77,22 +113,38 @@ class LoadGenerator:
             )
             t += rng.exponential(3600.0 / rate)
             if t >= duration_seconds:
-                break
-            sampled = sampler.sample()
-            if sampled.uses_mitigation:
-                mitigation = _MITIGATED_PRESETS[
-                    int(rng.integers(len(_MITIGATED_PRESETS)))
-                ]
+                return
+            if pool is not None:
+                proto = pool[int(rng.integers(len(pool)))]
+                # A resubmission of a pooled program: same structural
+                # metrics (shared, content-addressed), fresh job identity.
+                job = QuantumJob(
+                    metrics=proto.metrics,
+                    shots=proto.shots,
+                    mitigation=proto.mitigation,
+                    benchmark=proto.benchmark,
+                    circuit=proto.circuit,
+                )
             else:
-                mitigation = "none"
-            job = QuantumJob.from_circuit(
-                sampled.circuit,
-                shots=sampled.shots,
-                mitigation=mitigation,
-                keep_circuit=self.keep_circuits,
-                benchmark=sampled.benchmark,
-            )
+                job = self._build_job(sampler.sample(), rng)
             job.arrival_time = t
-            app = HybridApplication(quantum_job=job, arrival_time=t)
-            apps.append(app)
-        return apps
+            yield HybridApplication(quantum_job=job, arrival_time=t)
+
+    def _build_job(self, sampled, rng: np.random.Generator) -> QuantumJob:
+        if sampled.uses_mitigation:
+            mitigation = _MITIGATED_PRESETS[
+                int(rng.integers(len(_MITIGATED_PRESETS)))
+            ]
+        else:
+            mitigation = "none"
+        return QuantumJob.from_circuit(
+            sampled.circuit,
+            shots=sampled.shots,
+            mitigation=mitigation,
+            keep_circuit=self.keep_circuits,
+            benchmark=sampled.benchmark,
+        )
+
+    def generate(self, duration_seconds: float) -> list[HybridApplication]:
+        """All arrivals in [0, duration), sorted by arrival time."""
+        return list(self.iter_arrivals(duration_seconds))

@@ -43,6 +43,15 @@ class SimulationMetrics:
     completed_jobs: int = 0
     unschedulable_jobs: int = 0
     scheduling_cycles: int = 0
+    #: Fleet-layer accounting: shard count, jobs routed per shard, and
+    #: (for multi-shard runs) each shard's pending-queue series alongside
+    #: the merged ``scheduler_queue_size``.
+    num_shards: int = 1
+    per_shard_jobs: dict[int, int] = field(default_factory=dict)
+    shard_queue_size: dict[int, TimeSeries] = field(default_factory=dict)
+    #: Peak number of applications held in flight (arrived but not yet
+    #: dispatched).  Streaming runs keep this independent of stream length.
+    peak_inflight_apps: int = 0
     #: Event-core accounting: how many discrete events the simulator
     #: processed (arrivals, completions, triggers, samples, recalibrations)
     #: and how long the run took in wall-clock seconds.
@@ -66,6 +75,9 @@ class SimulationMetrics:
             load_cv = float(np.std(loads) / max(1e-9, np.mean(loads)))
         return {
             "load_cv": load_cv,
+            "num_shards": self.num_shards,
+            "per_shard_jobs": dict(self.per_shard_jobs),
+            "peak_inflight_apps": self.peak_inflight_apps,
             "events_processed": self.events_processed,
             "events_per_second": round(self.events_per_second, 1),
             "estimate_cache": dict(self.estimate_cache),

@@ -1,23 +1,31 @@
-"""The quantum-cloud simulator (§8.2) — event-driven core.
+"""The quantum-cloud simulator (§8.2) — sharded, event-driven core.
 
 Drives simulated time over a stream of hybrid applications with a heap
 event queue: arrivals, application completions, scheduling-trigger
 deadlines, metric samples, and recalibration cycles are discrete events,
 so wall-clock cost scales with the number of events rather than with
-simulated seconds. Classical pre-processing starts immediately on
-(abundant) classical workers, quantum jobs enter the scheduler's pending
-queue, scheduling fires on the paper's queue/time triggers (Qonductor) or
-per-arrival (baselines), and assigned jobs execute on
-:class:`SimulatedQPU` backends with ground-truth outcomes.
+simulated seconds.
+
+The fleet is organized as one or more :class:`~repro.cloud.fleet.FleetShard`
+partitions, each owning a subset of QPUs plus its own scheduler/policy
+instance, pending queue, and trigger; a
+:class:`~repro.cloud.fleet.ShardBalancer` routes every arriving quantum
+job to one shard.  All shards share the single event heap: trigger
+deadlines carry their shard index, completions feed fleet-wide running
+aggregates, and metric samples merge shard states (with per-shard queue
+breakdowns).  A 1-shard simulator is the unsharded configuration and
+reproduces it exactly.
+
+Arrivals are *pulled*: :meth:`CloudSimulator.run` accepts either a
+pre-built application list or a lazy, time-ordered iterator (see
+:meth:`LoadGenerator.iter_arrivals`); only the next pending arrival plus
+the in-flight applications are held in memory, so peak memory is
+independent of how many jobs the run streams through.
 
 Completion events feed running aggregates, so metric samples are O(1) in
-the number of finished applications instead of rescanning the stream —
-the old batch time-stepping loop rescanned every arrived application at
-every sample, which capped simulated load far below cloud scale.
-
+the number of finished applications instead of rescanning the stream.
 Metrics sampled over time: mean fidelity, mean end-to-end completion time,
-mean QPU utilization, and the scheduler's pending-queue size (Figs. 6, 8,
-9).
+mean QPU utilization, and the pending-queue sizes (Figs. 6, 8, 9).
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from enum import IntEnum
 
@@ -34,8 +43,9 @@ from ..backends.qpu import QPU
 from ..scheduler.triggers import SchedulingTrigger
 from .backend_sim import SimulatedQPU
 from .execution import ExecutionModel
+from .fleet import FleetShard, ShardBalancer, make_balancer, partition_fleet
 from .job import HybridApplication, JobStatus
-from .metrics import SimulationMetrics
+from .metrics import SimulationMetrics, TimeSeries
 
 __all__ = ["CloudSimulator", "SimulationConfig", "EventType"]
 
@@ -67,54 +77,139 @@ class SimulationConfig:
 
 
 class CloudSimulator:
-    """Batched-trigger (Qonductor) or per-arrival (baseline) cloud sim."""
+    """Batched-trigger (Qonductor) or per-arrival (baseline) cloud sim.
+
+    The plain constructor builds the classic single-shard configuration
+    from ``fleet`` + ``policy``; pass ``shards`` (a list of
+    :class:`FleetShard`) plus a ``balancer`` for partitioned fleets, or
+    use :meth:`sharded` to build both from a fleet and a policy prototype.
+    """
 
     def __init__(
         self,
-        fleet: list[QPU],
-        policy,
+        fleet: list[QPU] | None = None,
+        policy=None,
         execution_model: ExecutionModel | None = None,
         *,
         trigger: SchedulingTrigger | None = None,
         config: SimulationConfig | None = None,
+        shards: list[FleetShard] | None = None,
+        balancer: str | ShardBalancer = "round_robin",
     ) -> None:
-        self.backends = [SimulatedQPU(q) for q in fleet]
-        self.policy = policy
         self.config = config or SimulationConfig()
         self.execution_model = execution_model or ExecutionModel(
             seed=self.config.seed
         )
-        self.trigger = trigger or SchedulingTrigger()
-        # Batched policies expose .schedule() (the Qonductor scheduler);
-        # per-arrival baselines expose .assign().
-        self.is_batched = hasattr(policy, "schedule")
+        if shards is not None:
+            if fleet is not None or policy is not None or trigger is not None:
+                raise ValueError(
+                    "pass either (fleet, policy[, trigger]) or shards, not both"
+                )
+            self.shards = list(shards)
+        else:
+            if fleet is None or policy is None:
+                raise ValueError("need a fleet and a policy (or shards)")
+            self.shards = [
+                FleetShard(
+                    0,
+                    [SimulatedQPU(q) for q in fleet],
+                    policy,
+                    trigger or SchedulingTrigger(),
+                )
+            ]
+        self.balancer = make_balancer(balancer)
         self._rng = np.random.default_rng(self.config.seed)
 
-    # ------------------------------------------------------------------
-    def _waiting_map(self, now: float) -> dict[str, float]:
-        return {b.name: b.waiting_seconds(now) for b in self.backends}
+    @classmethod
+    def sharded(
+        cls,
+        fleet: list[QPU],
+        policy,
+        *,
+        num_shards: int,
+        balancer: str | ShardBalancer = "least_loaded",
+        execution_model: ExecutionModel | None = None,
+        trigger_factory=None,
+        config: SimulationConfig | None = None,
+    ) -> "CloudSimulator":
+        """Partition ``fleet`` into ``num_shards`` shards.
 
+        ``policy`` is either a prototype exposing ``spawn(shard_id)``
+        (every scheduling policy does) or a callable
+        ``shard_id -> policy`` building one instance per shard.
+        ``trigger_factory`` (``shard_id -> SchedulingTrigger``) defaults
+        to a fresh paper-default trigger per shard.
+        """
+        policy_factory = policy.spawn if hasattr(policy, "spawn") else policy
+        shards = [
+            FleetShard(
+                i,
+                [SimulatedQPU(q) for q in group],
+                policy_factory(i),
+                trigger_factory(i) if trigger_factory else SchedulingTrigger(),
+            )
+            for i, group in enumerate(partition_fleet(fleet, num_shards))
+        ]
+        return cls(
+            execution_model=execution_model,
+            config=config,
+            shards=shards,
+            balancer=balancer,
+        )
+
+    # -- single-shard compatibility views ------------------------------
+    @property
+    def backends(self) -> list[SimulatedQPU]:
+        """Every simulated backend, in shard order."""
+        return [b for shard in self.shards for b in shard.backends]
+
+    @property
+    def policy(self):
+        return self.shards[0].policy
+
+    @property
+    def trigger(self) -> SchedulingTrigger:
+        return self.shards[0].trigger
+
+    @property
+    def is_batched(self) -> bool:
+        return self.shards[0].is_batched
+
+    # ------------------------------------------------------------------
     def _dispatch(
-        self, job, qpu_name: str, now: float, apps_by_job: dict, on_finish=None
+        self,
+        shard: FleetShard,
+        job,
+        qpu_name: str,
+        now: float,
+        metrics: SimulationMetrics,
+        apps_by_job: dict,
+        on_finish,
     ) -> None:
-        backend = next(b for b in self.backends if b.name == qpu_name)
+        backend = next(b for b in shard.backends if b.name == qpu_name)
         record = backend.execute(job, now, self.execution_model, self._rng)
-        app = apps_by_job.get(job.job_id)
+        metrics.completed_jobs += 1
+        app = apps_by_job.pop(job.job_id, None)
         if app is not None:
             app.pre_seconds = record.classical_pre_seconds
             app.post_seconds = record.classical_post_seconds
             # Classical post-processing starts right after the quantum part;
             # classical waiting is ~zero (thousands of workers available).
             app.finish_time = job.finish_time + record.classical_post_seconds
-            if on_finish is not None:
-                on_finish(app)
+            on_finish(app)
+
+    def _fail(self, job, metrics, apps_by_job) -> None:
+        job.status = JobStatus.FAILED
+        metrics.unschedulable_jobs += 1
+        apps_by_job.pop(job.job_id, None)
 
     def _schedule_batch(
-        self, pending: list, now: float, metrics, apps_by_job, on_finish=None
-    ) -> list:
-        """Run one Qonductor cycle; returns jobs still unschedulable."""
-        qpus = [b.qpu for b in self.backends]
-        schedule = self.policy.schedule(pending, qpus, self._waiting_map(now))
+        self, shard: FleetShard, now: float, metrics, apps_by_job, on_finish
+    ) -> None:
+        """Run one batched cycle over the shard's pending queue."""
+        schedule = shard.policy.schedule(
+            shard.pending, shard.qpus, shard.waiting_map(now)
+        )
         metrics.scheduling_cycles += 1
         # Pre-warm ground-truth components with one array pass per target
         # device over the whole dispatched set; the per-job execute() calls
@@ -122,7 +217,7 @@ class CloudSimulator:
         by_backend: dict[str, list] = {}
         for dec in schedule.decisions:
             by_backend.setdefault(dec.qpu_name, []).append(dec.job.metrics)
-        for b in self.backends:
+        for b in shard.backends:
             group = by_backend.get(b.name)
             if group:
                 self.execution_model.components_batch(
@@ -130,34 +225,98 @@ class CloudSimulator:
                 )
         for dec in schedule.decisions:
             dec.job.schedule_time = now
-            self._dispatch(dec.job, dec.qpu_name, now, apps_by_job, on_finish)
-        metrics.unschedulable_jobs += len(schedule.unschedulable)
+            self._dispatch(
+                shard, dec.job, dec.qpu_name, now, metrics, apps_by_job,
+                on_finish,
+            )
         for job in schedule.unschedulable:
-            job.status = JobStatus.FAILED
-        return []
+            self._fail(job, metrics, apps_by_job)
+        shard.pending = []
 
     def _schedule_immediate(
-        self, jobs: list, now: float, metrics, apps_by_job, on_finish=None
+        self, shard: FleetShard, jobs: list, now: float, metrics, apps_by_job,
+        on_finish,
     ) -> None:
-        qpus = [b.qpu for b in self.backends]
-        for job, qpu_name in self.policy.assign(jobs, qpus, self._waiting_map(now)):
+        assignments = shard.policy.assign(
+            jobs, shard.qpus, shard.waiting_map(now)
+        )
+        for job, qpu_name in assignments:
             metrics.scheduling_cycles += 1
             if qpu_name is None:
-                job.status = JobStatus.FAILED
-                metrics.unschedulable_jobs += 1
+                self._fail(job, metrics, apps_by_job)
                 continue
             job.schedule_time = now
-            self._dispatch(job, qpu_name, now, apps_by_job, on_finish)
+            self._dispatch(
+                shard, job, qpu_name, now, metrics, apps_by_job, on_finish
+            )
+
+    def _recalibrate(self, now: float) -> None:
+        """Fleet-wide calibration cycle across every shard.
+
+        Every shard policy's hook runs with the full fleet, so per-shard
+        side effects (e.g. a Qonductor ``on_recalibrate`` callback) are
+        never skipped; a cached estimator shared across shards stays
+        single-invalidation because its own hook is idempotent per
+        calibration wave (see ``CachedEstimator.on_recalibration``).
+        """
+        all_qpus = [b.qpu for b in self.backends]
+        for qpu in all_qpus:
+            qpu.recalibrate(timestamp=now)
+        self.execution_model.on_recalibration()
+        for shard in self.shards:
+            hook = getattr(shard.policy, "on_recalibration", None)
+            if hook is not None:
+                hook(all_qpus)
+
+    def _collect_cache_stats(self, metrics: SimulationMetrics) -> None:
+        """Merge estimate-cache counters across the shards' policies."""
+        stats_by_id: dict[int, object] = {}
+        for shard in self.shards:
+            fn = getattr(shard.policy, "estimate_fn", None)
+            stats = getattr(fn, "stats", None)
+            if stats is not None:
+                stats_by_id[id(stats)] = stats
+        if not stats_by_id:
+            return
+        unique = list(stats_by_id.values())
+        if len(unique) == 1:
+            metrics.estimate_cache = unique[0].as_dict()
+            return
+        hits = sum(s.hits for s in unique)
+        misses = sum(s.misses for s in unique)
+        lookups = hits + misses
+        metrics.estimate_cache = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "invalidations": sum(s.invalidations for s in unique),
+        }
 
     # ------------------------------------------------------------------
-    def run(self, apps: list[HybridApplication]) -> SimulationMetrics:
-        """Simulate the full application stream; returns collected metrics."""
+    def run(
+        self, apps: list[HybridApplication] | Iterable[HybridApplication]
+    ) -> SimulationMetrics:
+        """Simulate the full application stream; returns collected metrics.
+
+        ``apps`` may be a list (sorted internally, kept by the caller) or
+        any time-ordered iterator of applications — e.g.
+        ``LoadGenerator.iter_arrivals`` — which is consumed lazily, one
+        arrival ahead of simulated time.
+        """
         cfg = self.config
         wall_start = time.perf_counter()
         metrics = SimulationMetrics()
-        apps = sorted(apps, key=lambda a: a.arrival_time)
-        apps_by_job = {a.quantum_job.job_id: a for a in apps}
-        pending: list = []
+        metrics.num_shards = len(self.shards)
+        if isinstance(apps, list):
+            stream: Iterator[HybridApplication] = iter(
+                sorted(apps, key=lambda a: a.arrival_time)
+            )
+        else:
+            stream = iter(apps)
+        # Only in-flight applications (arrived, not yet dispatched) are
+        # held here; entries are dropped on dispatch/rejection so memory
+        # stays independent of the stream length.
+        apps_by_job: dict[int, HybridApplication] = {}
         horizon = cfg.duration_seconds
 
         # Running completion aggregates (fed by COMPLETION events) make
@@ -177,12 +336,20 @@ class CloudSimulator:
                 metrics.mean_completion_time.add(t, float(np.mean(done_jcts)))
             busy = [
                 max(0.0, b.busy_seconds - max(0.0, b.free_at - t))
-                for b in self.backends
+                for shard in self.shards
+                for b in shard.backends
             ]
             metrics.mean_utilization.add(
                 t, float(np.mean([min(1.0, bu / max(t, 1e-9)) for bu in busy]))
             )
-            metrics.scheduler_queue_size.add(t, len(pending))
+            metrics.scheduler_queue_size.add(
+                t, sum(len(shard.pending) for shard in self.shards)
+            )
+            if len(self.shards) > 1:
+                for shard in self.shards:
+                    metrics.shard_queue_size.setdefault(
+                        shard.shard_id, TimeSeries()
+                    ).add(t, len(shard.pending))
 
         def complete(app: HybridApplication) -> None:
             if app.quantum_job.fidelity is not None:
@@ -192,14 +359,20 @@ class CloudSimulator:
         def on_finish(app: HybridApplication) -> None:
             push(app.finish_time, EventType.COMPLETION, app)
 
-        if apps:
-            push(apps[0].arrival_time, EventType.ARRIVAL, 0)
+        first = next(stream, None)
+        if first is not None:
+            push(first.arrival_time, EventType.ARRIVAL, first)
         if cfg.sample_every_seconds < horizon:
             push(cfg.sample_every_seconds, EventType.SAMPLE, None)
         if cfg.recalibrate_every_seconds:
             push(cfg.recalibrate_every_seconds, EventType.RECALIBRATION, None)
-        if self.is_batched:
-            push(self.trigger.next_deadline(0.0), EventType.TRIGGER, None)
+        for shard in self.shards:
+            if shard.is_batched:
+                push(
+                    shard.trigger.next_deadline(0.0),
+                    EventType.TRIGGER,
+                    shard.shard_id,
+                )
 
         while heap and heap[0][0] < horizon:
             now, kind, _, payload = heapq.heappop(heap)
@@ -209,11 +382,7 @@ class CloudSimulator:
                 complete(payload)
 
             elif kind == EventType.RECALIBRATION:
-                for b in self.backends:
-                    b.qpu.recalibrate(timestamp=now)
-                self.execution_model.on_recalibration()
-                if hasattr(self.policy, "on_recalibration"):
-                    self.policy.on_recalibration([b.qpu for b in self.backends])
+                self._recalibrate(now)
                 push(now + cfg.recalibrate_every_seconds, EventType.RECALIBRATION)
 
             elif kind == EventType.SAMPLE:
@@ -221,56 +390,68 @@ class CloudSimulator:
                 push(now + cfg.sample_every_seconds, EventType.SAMPLE)
 
             elif kind == EventType.ARRIVAL:
-                app = apps[payload]
-                if payload + 1 < len(apps):
-                    push(apps[payload + 1].arrival_time, EventType.ARRIVAL,
-                         payload + 1)
+                app = payload
+                nxt = next(stream, None)
+                if nxt is not None:
+                    push(nxt.arrival_time, EventType.ARRIVAL, nxt)
                 job = app.quantum_job
                 job.status = JobStatus.QUEUED
-                if self.is_batched:
-                    pending.append(job)
-                    if self.trigger.should_fire(len(pending), now):
-                        pending = self._schedule_batch(
-                            pending, now, metrics, apps_by_job, on_finish
+                apps_by_job[job.job_id] = app
+                metrics.peak_inflight_apps = max(
+                    metrics.peak_inflight_apps, len(apps_by_job)
+                )
+                shard = self.balancer.route(job, self.shards, now)
+                shard.jobs_routed += 1
+                if shard.is_batched:
+                    shard.pending.append(job)
+                    if shard.trigger.should_fire(len(shard.pending), now):
+                        self._schedule_batch(
+                            shard, now, metrics, apps_by_job, on_finish
                         )
-                        self.trigger.fired(now)
-                        push(self.trigger.next_deadline(now), EventType.TRIGGER)
+                        shard.trigger.fired(now)
+                        push(
+                            shard.trigger.next_deadline(now),
+                            EventType.TRIGGER,
+                            shard.shard_id,
+                        )
                 else:
                     self._schedule_immediate(
-                        [job], now, metrics, apps_by_job, on_finish
+                        shard, [job], now, metrics, apps_by_job, on_finish
                     )
 
             elif kind == EventType.TRIGGER:
-                if now < self.trigger.next_deadline(now):
+                shard = self.shards[payload]
+                if now < shard.trigger.next_deadline(now):
                     continue  # stale deadline: the trigger fired meanwhile
-                if self.trigger.should_fire(len(pending), now):
-                    pending = self._schedule_batch(
-                        pending, now, metrics, apps_by_job, on_finish
+                if shard.trigger.should_fire(len(shard.pending), now):
+                    self._schedule_batch(
+                        shard, now, metrics, apps_by_job, on_finish
                     )
-                self.trigger.fired(now)
-                push(self.trigger.next_deadline(now), EventType.TRIGGER)
+                shard.trigger.fired(now)
+                push(
+                    shard.trigger.next_deadline(now),
+                    EventType.TRIGGER,
+                    shard.shard_id,
+                )
 
         # Final flush and bookkeeping: schedule leftovers at the horizon,
         # fold in completions that land inside it, and take the last sample.
-        if self.is_batched and pending:
-            pending = self._schedule_batch(
-                pending, horizon, metrics, apps_by_job, on_finish
-            )
+        for shard in self.shards:
+            if shard.is_batched and shard.pending:
+                self._schedule_batch(
+                    shard, horizon, metrics, apps_by_job, on_finish
+                )
         while heap:
             t, kind, _, payload = heapq.heappop(heap)
             if kind == EventType.COMPLETION and t <= horizon:
                 metrics.events_processed += 1
                 complete(payload)
         sample(horizon)
-        metrics.completed_jobs = sum(
-            1 for a in apps if a.quantum_job.status == JobStatus.COMPLETED
-        )
-        for b in self.backends:
-            metrics.per_qpu_busy_seconds[b.name] = b.busy_seconds
-            metrics.per_qpu_jobs[b.name] = b.jobs_executed
-        estimate_fn = getattr(self.policy, "estimate_fn", None)
-        stats = getattr(estimate_fn, "stats", None)
-        if stats is not None:
-            metrics.estimate_cache = stats.as_dict()
+        for shard in self.shards:
+            metrics.per_shard_jobs[shard.shard_id] = shard.jobs_routed
+            for b in shard.backends:
+                metrics.per_qpu_busy_seconds[b.name] = b.busy_seconds
+                metrics.per_qpu_jobs[b.name] = b.jobs_executed
+        self._collect_cache_stats(metrics)
         metrics.wall_seconds = time.perf_counter() - wall_start
         return metrics

@@ -1,6 +1,10 @@
 """Hybrid resource estimation (§6): features, synthetic training data,
 regression models, numerical baseline, cost model, and plan generation."""
 
+from .cache import CachedEstimator, CacheStats, EstimateCache
+from .cost import TABLE1_RATES, ResourceRates, plan_cost
+from .dataset import EstimatorDataset, generate_dataset
+from .estimator import ResourceEstimator
 from .features import (
     FIDELITY_FEATURE_NAMES,
     RUNTIME_FEATURE_NAMES,
@@ -8,13 +12,9 @@ from .features import (
     mitigation_flags,
     runtime_features,
 )
-from .dataset import EstimatorDataset, generate_dataset
 from .models import RegressionEstimator, TrainedEstimators, train_estimators
 from .numerical import NumericalEstimator
-from .cost import TABLE1_RATES, ResourceRates, plan_cost
 from .plans import ResourcePlan, generate_resource_plans
-from .estimator import ResourceEstimator
-from .cache import CachedEstimator, CacheStats, EstimateCache
 
 __all__ = [
     "FIDELITY_FEATURE_NAMES",

@@ -20,8 +20,10 @@ policies detect via ``hasattr``.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -102,6 +104,46 @@ class EstimateCache:
         self._table.clear()
         self.stats.invalidations += 1
 
+    # -- persistence ---------------------------------------------------
+    #: On-disk format version; bump on incompatible key changes.
+    FORMAT_VERSION = 1
+
+    def save(self, path: str | Path) -> int:
+        """Write the table as JSON; returns the number of entries saved.
+
+        Each row is ``[fingerprint, shots, mitigation, qpu_name, cycle,
+        fidelity, exec_seconds]``; the calibration epoch ``(qpu_name,
+        cycle)`` stays part of the key, so a warm-started run can never
+        serve an estimate from a dead epoch — at worst a stale entry is
+        loaded and simply never hit.
+        """
+        rows = [
+            [list(fp), shots, mit, epoch[0], epoch[1], value[0], value[1]]
+            for (fp, shots, mit, epoch), value in self._table.items()
+        ]
+        payload = {"version": self.FORMAT_VERSION, "entries": rows}
+        Path(path).write_text(json.dumps(payload))
+        return len(rows)
+
+    def load(self, path: str | Path) -> int:
+        """Merge entries saved by :meth:`save`; returns how many loaded.
+
+        Loading respects ``max_entries`` (oldest file rows evict first,
+        like any other insertion) and does not touch hit/miss counters.
+        """
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != self.FORMAT_VERSION:
+            raise ValueError(
+                f"estimate-cache file {path} has version "
+                f"{payload.get('version')!r}, expected {self.FORMAT_VERSION}"
+            )
+        count = 0
+        for fp, shots, mit, qpu_name, cycle, fid, sec in payload["entries"]:
+            key = (tuple(fp), shots, mit, (qpu_name, cycle))
+            self.put(key, (float(fid), float(sec)))
+            count += 1
+        return count
+
 
 class CachedEstimator:
     """Memoizing (and batch-capable) wrapper around an estimate source.
@@ -132,14 +174,41 @@ class CachedEstimator:
         # Job feature rows are calibration-independent; share them across
         # QPUs and scheduling rounds.
         self._job_rows: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        # Epochs seen at the last recalibration hook: with sharded fleets
+        # every shard policy forwards the same fleet-wide calibration
+        # event here, and only the first forwarding per wave may act.
+        self._last_epochs: tuple | None = None
 
     # ------------------------------------------------------------------
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats
 
+    def save(self, path: str | Path) -> int:
+        """Persist the memo table (JSON) so later runs start warm.
+
+        Entries stay keyed on the calibration epoch, so repeated
+        benchmark runs over the same fleet seed reuse estimates while a
+        recalibrated fleet misses cleanly.  Returns the entry count.
+        """
+        return self.cache.save(path)
+
+    def load(self, path: str | Path) -> int:
+        """Warm the memo table from a :meth:`save` file; returns count."""
+        return self.cache.load(path)
+
     def on_recalibration(self, qpus: list[QPU]) -> None:
-        """Invalidate and propagate the calibration event downstream."""
+        """Invalidate and propagate the calibration event downstream.
+
+        Idempotent per calibration wave: repeated calls with unchanged
+        calibration epochs (one per shard of a sharded fleet) are no-ops,
+        so a shared cache invalidates exactly once per recalibration.
+        Use :meth:`EstimateCache.invalidate` directly to force a clear.
+        """
+        epochs = tuple(q.calibration.epoch for q in qpus)
+        if epochs == self._last_epochs:
+            return
+        self._last_epochs = epochs
         self.cache.invalidate()
         self._job_rows.clear()
         if hasattr(self.base, "refresh_templates"):

@@ -77,6 +77,7 @@ class ResourceEstimator:
         num_plans: int = 3,
         mitigations: list[str] | None = None,
         min_fidelity: float = 0.0,
+        models: list[str] | None = None,
     ) -> list[ResourcePlan]:
         """Client-facing resource plans against the template QPUs."""
         return generate_resource_plans(
@@ -87,4 +88,5 @@ class ResourceEstimator:
             num_plans=num_plans,
             mitigations=mitigations,
             min_fidelity=min_fidelity,
+            models=models,
         )

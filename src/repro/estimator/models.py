@@ -14,7 +14,7 @@ import numpy as np
 
 from ..backends.calibration import CalibrationData
 from ..circuits.metrics import CircuitMetrics
-from ..ml import cross_val_score, make_polynomial_regression, r2_score
+from ..ml import cross_val_score, make_polynomial_regression
 from .dataset import EstimatorDataset
 from .features import (
     fidelity_features,

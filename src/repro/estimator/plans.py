@@ -66,15 +66,20 @@ def generate_resource_plans(
     mitigations: list[str] | None = None,
     classical_tiers: tuple[str, ...] = ("standard_vm", "highend_vm"),
     min_fidelity: float = 0.0,
+    models: list[str] | None = None,
 ) -> list[ResourcePlan]:
     """Sweep (stack x template x tier), Pareto-filter, pick ``num_plans``.
 
     Returned plans are sorted by estimated fidelity descending; when the
     front holds more than ``num_plans`` points, picks are spread evenly
-    across it (so clients always see both extremes).
+    across it (so clients always see both extremes).  ``models`` narrows
+    the template sweep to a named subset — sharded fleets use it to keep
+    a per-shard sweep bounded by the shard's own device models.
     """
     if num_plans < 1:
         raise ValueError("num_plans must be >= 1")
+    if models is not None:
+        templates = {k: v for k, v in templates.items() if k in models}
     names = mitigations or list(STANDARD_STACKS)
     # One vectorized pipeline pass per template scores every mitigation
     # stack at once (the sweep is the API server's per-request hot path).

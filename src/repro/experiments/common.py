@@ -11,8 +11,6 @@ so the full suite runs in CI time. Trends are stable down to scale ~0.1.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..backends.fleet import default_fleet
 from ..backends.qpu import QPU
 from ..cloud.execution import ExecutionModel

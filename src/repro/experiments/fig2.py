@@ -11,18 +11,11 @@ import time
 import numpy as np
 
 from ..backends.fleet import default_fleet
+from ..cloud.imbalance import simulate_queue_imbalance
 from ..mitigation.cutting import cut_circuit, knit
-from ..simulation import (
-    NoisySimulator,
-    hellinger_fidelity,
-    ideal_probabilities,
-    estimate_fidelity_analytic,
-)
-from ..simulation.statevector import simulate_statevector
+from ..simulation import NoisySimulator, hellinger_fidelity, ideal_probabilities
 from ..transpiler import Target, transpile
 from ..workloads import clustered_circuit, ghz_linear
-from ..cloud.imbalance import simulate_queue_imbalance
-from .common import make_fleet
 
 __all__ = ["fig2a_circuit_cutting", "fig2b_spatial_variance", "fig2c_load_imbalance"]
 

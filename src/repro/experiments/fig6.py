@@ -14,7 +14,7 @@ from ..cloud import (
     SimulationConfig,
 )
 from ..scheduler import FCFSPolicy, QonductorScheduler, SchedulingTrigger
-from .common import EIGHT_QPU_NAMES, make_fleet, trained_estimator
+from .common import make_fleet, trained_estimator
 
 __all__ = ["fig6_end_to_end"]
 
@@ -24,8 +24,15 @@ def fig6_end_to_end(
     scale: float = 0.25,
     rate_per_hour: float = 1500.0,
     seed: int = 5,
+    num_shards: int = 1,
+    balancer: str = "least_loaded",
 ) -> dict:
-    """Run both policies on identical arrivals; compare the three metrics."""
+    """Run both policies on identical arrivals; compare the three metrics.
+
+    ``num_shards`` > 1 partitions the fleet with per-shard schedulers and
+    routes arrivals through ``balancer`` (the production configuration
+    for large fleets; 1 shard reproduces the paper's setup exactly).
+    """
     duration = 3600.0 * scale
     estimator = trained_estimator(seed=7)
     gen = LoadGenerator(mean_rate_per_hour=rate_per_hour, seed=seed)
@@ -41,11 +48,15 @@ def fig6_end_to_end(
             )
         else:
             policy = FCFSPolicy(estimator.cached())
-        sim = CloudSimulator(
+        sim = CloudSimulator.sharded(
             fleet,
             policy,
-            em,
-            trigger=SchedulingTrigger(queue_limit=100, interval_seconds=120),
+            num_shards=num_shards,
+            balancer=balancer,
+            execution_model=em,
+            trigger_factory=lambda i: SchedulingTrigger(
+                queue_limit=100, interval_seconds=120
+            ),
             config=SimulationConfig(duration_seconds=duration, seed=seed),
         )
         return sim.run(apps)

@@ -122,6 +122,8 @@ def fig8c_load_balance(
     rates=(1500.0, 3000.0, 4500.0),
     scale: float = 0.15,
     seed: int = 5,
+    num_shards: int = 1,
+    balancer: str = "least_loaded",
 ) -> dict:
     """Per-QPU total runtime; paper: <= 15.8 % load spread at 1500 j/h."""
     estimator = trained_estimator(seed=7)
@@ -130,17 +132,19 @@ def fig8c_load_balance(
     for rate in rates:
         fleet = make_fleet(seed=7)
         gen = LoadGenerator(mean_rate_per_hour=rate, seed=seed)
-        sim = CloudSimulator(
+        sim = CloudSimulator.sharded(
             fleet,
             QonductorScheduler(
                 estimator.cached(), preference="balanced", seed=seed,
                 max_generations=25,
             ),
-            ExecutionModel(seed=11),
-            trigger=SchedulingTrigger(),
+            num_shards=num_shards,
+            balancer=balancer,
+            execution_model=ExecutionModel(seed=11),
+            trigger_factory=lambda i: SchedulingTrigger(),
             config=SimulationConfig(duration_seconds=duration, seed=seed),
         )
-        metrics = sim.run(gen.generate(duration))
+        metrics = sim.run(gen.iter_arrivals(duration))
         loads = metrics.per_qpu_busy_seconds
         values = np.array(list(loads.values()))
         # The paper's spread is between comparable devices; our fleet mixes

@@ -23,21 +23,32 @@ from .common import trained_estimator
 __all__ = ["fig9a_cluster_scaling", "fig9b_load_scaling", "fig9c_stage_runtimes"]
 
 
-def _run_sim(num_qpus: int, rate: float, duration: float, seed: int):
+def _run_sim(
+    num_qpus: int,
+    rate: float,
+    duration: float,
+    seed: int,
+    *,
+    num_shards: int = 1,
+    balancer: str = "least_loaded",
+):
     estimator = trained_estimator(seed=7)
     fleet = fleet_of_size(num_qpus, seed=7)
     gen = LoadGenerator(mean_rate_per_hour=rate, seed=seed)
-    sim = CloudSimulator(
+    sim = CloudSimulator.sharded(
         fleet,
         QonductorScheduler(
             estimator.cached(), preference="balanced", seed=seed,
             max_generations=20,
         ),
-        ExecutionModel(seed=11),
-        trigger=SchedulingTrigger(),
+        num_shards=num_shards,
+        balancer=balancer,
+        execution_model=ExecutionModel(seed=11),
+        trigger_factory=lambda i: SchedulingTrigger(),
         config=SimulationConfig(duration_seconds=duration, seed=seed),
     )
-    return sim.run(gen.generate(duration))
+    # Streaming pull keeps memory flat at any rate x duration product.
+    return sim.run(gen.iter_arrivals(duration))
 
 
 def fig9a_cluster_scaling(
@@ -70,13 +81,18 @@ def fig9b_load_scaling(
     num_qpus: int = 8,
     scale: float = 0.15,
     seed: int = 5,
+    num_shards: int = 1,
+    balancer: str = "least_loaded",
 ) -> dict:
     """Scheduler queue size vs workload. Paper: stable up to 3x IBM load
     (queue oscillates with the trigger instead of growing unboundedly)."""
     duration = 3600.0 * scale
     result = {}
     for rate in rates:
-        metrics = _run_sim(num_qpus, rate, duration, seed)
+        metrics = _run_sim(
+            num_qpus, rate, duration, seed,
+            num_shards=num_shards, balancer=balancer,
+        )
         _, values = metrics.scheduler_queue_size.as_arrays()
         # Stability criterion: the queue is drained (returns near zero)
         # repeatedly rather than trending upward.

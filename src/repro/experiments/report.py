@@ -10,12 +10,20 @@ import argparse
 import json
 
 from .common import print_table
-from .fig2 import fig2a_circuit_cutting, fig2b_spatial_variance, fig2c_load_imbalance
+from .fig10 import fig10a_exec_time, fig10b_priorities
+from .fig2 import (
+    fig2a_circuit_cutting,
+    fig2b_spatial_variance,
+    fig2c_load_imbalance,
+)
 from .fig6 import fig6_end_to_end
 from .fig7 import fig7a_resource_plans, fig7bc_estimation_error
 from .fig8 import fig8ab_tradeoff, fig8c_load_balance
-from .fig9 import fig9a_cluster_scaling, fig9b_load_scaling, fig9c_stage_runtimes
-from .fig10 import fig10a_exec_time, fig10b_priorities
+from .fig9 import (
+    fig9a_cluster_scaling,
+    fig9b_load_scaling,
+    fig9c_stage_runtimes,
+)
 from .table1 import table1_pricing
 
 __all__ = ["run_all"]

@@ -1,19 +1,6 @@
 """Error-mitigation library: ZNE, REM, DD, Pauli twirling, PEC, and
 quasi-probability circuit knitting, plus stacked pipelines."""
 
-from .folding import fold_gates, fold_global, fold_to_factor
-from .extrapolation import (
-    ExpFactory,
-    LinearFactory,
-    PolyFactory,
-    RichardsonFactory,
-    get_factory,
-)
-from .zne import ZNE, zne_expand, zne_infer_probs, zne_infer_value
-from .rem import REM, mitigate_counts, mitigate_probs
-from .dd import DD, insert_dd
-from .twirling import CX_TWIRL_SET, pauli_twirl, twirl_ensemble
-from .pec import PEC, PECSample, pec_combine_probs, pec_gamma, pec_sample_circuits
 from .cutting import (
     CZ_QPD_TERMS,
     CutInstruction,
@@ -22,7 +9,26 @@ from .cutting import (
     knit,
     sampling_overhead,
 )
+from .dd import DD, insert_dd
+from .extrapolation import (
+    ExpFactory,
+    LinearFactory,
+    PolyFactory,
+    RichardsonFactory,
+    get_factory,
+)
+from .folding import fold_gates, fold_global, fold_to_factor
+from .pec import (
+    PEC,
+    PECSample,
+    pec_combine_probs,
+    pec_gamma,
+    pec_sample_circuits,
+)
+from .rem import REM, mitigate_counts, mitigate_probs
 from .stack import STANDARD_STACKS, MitigationStack, StackPlan
+from .twirling import CX_TWIRL_SET, pauli_twirl, twirl_ensemble
+from .zne import ZNE, zne_expand, zne_infer_probs, zne_infer_value
 
 __all__ = [
     "fold_gates",

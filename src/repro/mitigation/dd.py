@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import Gate
 from ..simulation.noise import NoiseModel
 
 __all__ = ["DD", "insert_dd"]

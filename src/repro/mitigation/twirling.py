@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import Gate
 
 __all__ = ["pauli_twirl", "twirl_ensemble", "CX_TWIRL_SET"]
 

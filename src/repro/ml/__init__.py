@@ -1,8 +1,8 @@
 """Minimal ML stack (scikit-learn substitute): linear/ridge regression,
 polynomial features, scaling, K-fold CV, regression metrics, pipelines."""
 
-from .linear import LinearRegression, Ridge
 from .features import PolynomialFeatures, StandardScaler
+from .linear import LinearRegression, Ridge
 from .metrics import mean_absolute_error, r2_score, root_mean_squared_error
 from .model_selection import KFold, cross_val_score, train_test_split
 from .pipeline import Pipeline, make_polynomial_regression

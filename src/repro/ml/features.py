@@ -26,11 +26,21 @@ class PolynomialFeatures:
     def fit(self, X, y=None) -> "PolynomialFeatures":
         X = np.asarray(X, dtype=float)
         n_features = X.shape[1]
+        # _combos keeps the flat sklearn-ordered monomial list; _blocks
+        # holds the same combos as contiguous per-degree index arrays so
+        # transform() fills whole column groups with O(degree) vectorized
+        # passes instead of one Python iteration per monomial (the
+        # scheduling hot path calls transform per estimate-cache miss).
         combos: list[tuple[int, ...]] = []
         if self.include_bias:
             combos.append(())
+        self._blocks = []
         for d in range(1, self.degree + 1):
-            combos.extend(combinations_with_replacement(range(n_features), d))
+            combos_d = list(combinations_with_replacement(range(n_features), d))
+            self._blocks.append(
+                (len(combos), np.array(combos_d, dtype=np.intp))
+            )
+            combos.extend(combos_d)
         self._combos = combos
         return self
 
@@ -39,14 +49,15 @@ class PolynomialFeatures:
             raise RuntimeError("transformer is not fitted")
         X = np.asarray(X, dtype=float)
         out = np.empty((X.shape[0], len(self._combos)))
-        for j, combo in enumerate(self._combos):
-            if not combo:
-                out[:, j] = 1.0
-            else:
-                col = X[:, combo[0]].copy()
-                for idx in combo[1:]:
-                    col *= X[:, idx]
-                out[:, j] = col
+        if self.include_bias:
+            out[:, 0] = 1.0
+        for start, idx in self._blocks:
+            # Multiply factors left-to-right (matching the definitional
+            # per-monomial loop bit-for-bit), vectorized across monomials.
+            block = X[:, idx[:, 0]].copy()
+            for k in range(1, idx.shape[1]):
+                block *= X[:, idx[:, k]]
+            out[:, start:start + len(idx)] = block
         return out
 
     def fit_transform(self, X, y=None) -> np.ndarray:

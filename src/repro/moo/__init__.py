@@ -1,6 +1,13 @@
 """Multi-objective optimization (pymoo substitute): NSGA-II on integer
 genomes, non-dominated sorting, and pseudo-weight MCDM selection."""
 
+from .mcdm import PREFERENCES, pseudo_weights, select_by_preference
+from .nsga2 import NSGA2, NSGA2Result
+from .operators import (
+    exponential_crossover,
+    polynomial_mutation,
+    tournament_selection,
+)
 from .problem import Problem
 from .sorting import (
     crowding_distance,
@@ -8,14 +15,7 @@ from .sorting import (
     fast_non_dominated_sort,
     pareto_front_mask,
 )
-from .operators import (
-    exponential_crossover,
-    polynomial_mutation,
-    tournament_selection,
-)
 from .termination import Termination
-from .nsga2 import NSGA2, NSGA2Result
-from .mcdm import PREFERENCES, pseudo_weights, select_by_preference
 
 __all__ = [
     "Problem",

@@ -1,16 +1,16 @@
 """Qonductor orchestrator: data plane (workflows, images, registry),
 control plane (API, job manager, monitor, Raft replicas), and workers."""
 
-from .workflow import HybridWorkflow, StepKind, WorkflowStep
-from .images import ExecutionConfig, HybridWorkflowImage, ResourceRequest
-from .registry import WorkflowRegistry
-from .monitor import SystemMonitor, WatchEvent
-from .membership import HeartbeatTracker
-from .raft import RaftCluster, RaftNode, Role
-from .workers import ClassicalWorker, DeviceManager, QuantumWorker
-from .job_manager import JobManager, WorkflowRun, WorkflowStatus
-from .codegen import build_workflow, classical_task, quantum_task
 from .api import Qonductor
+from .codegen import build_workflow, classical_task, quantum_task
+from .images import ExecutionConfig, HybridWorkflowImage, ResourceRequest
+from .job_manager import JobManager, WorkflowRun, WorkflowStatus
+from .membership import HeartbeatTracker
+from .monitor import SystemMonitor, WatchEvent
+from .raft import RaftCluster, RaftNode, Role
+from .registry import WorkflowRegistry
+from .workers import ClassicalWorker, DeviceManager, QuantumWorker
+from .workflow import HybridWorkflow, StepKind, WorkflowStep
 
 __all__ = [
     "HybridWorkflow",

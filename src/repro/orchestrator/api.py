@@ -14,17 +14,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..backends.qpu import QPU
 from ..backends.fleet import default_fleet
+from ..backends.qpu import QPU
+from ..circuits.metrics import compute_metrics
 from ..cloud.backend_sim import SimulatedQPU
 from ..cloud.execution import ExecutionModel
 from ..estimator.estimator import ResourceEstimator
 from ..estimator.plans import ResourcePlan
 from ..scheduler.classical import ClassicalNode, ClassicalScheduler
 from ..scheduler.quantum import QonductorScheduler
-from ..circuits.metrics import compute_metrics
 from .images import ExecutionConfig, HybridWorkflowImage
-from .job_manager import JobManager, WorkflowRun, WorkflowStatus
+from .job_manager import JobManager, WorkflowRun
 from .monitor import SystemMonitor
 from .raft import RaftCluster
 from .registry import WorkflowRegistry

@@ -2,17 +2,17 @@
 filter-score classical scheduler, baseline policies, triggers, and
 calibration-crossover re-evaluation."""
 
-from .formulation import SchedulingInput, SchedulingProblem
-from .quantum import QonductorScheduler, QuantumSchedule, ScheduleDecision
-from .classical import ClassicalNode, ClassicalRequest, ClassicalScheduler
-from .policies import FCFSPolicy, LeastBusyPolicy, RandomPolicy
-from .triggers import SchedulingTrigger
-from .reservations import Reservation, ReservationManager
 from .calibration_crossover import (
     CrossoverReport,
     reevaluate_post_calibration,
     split_at_calibration,
 )
+from .classical import ClassicalNode, ClassicalRequest, ClassicalScheduler
+from .formulation import SchedulingInput, SchedulingProblem
+from .policies import FCFSPolicy, LeastBusyPolicy, RandomPolicy
+from .quantum import QonductorScheduler, QuantumSchedule, ScheduleDecision
+from .reservations import Reservation, ReservationManager
+from .triggers import SchedulingTrigger
 
 __all__ = [
     "SchedulingInput",

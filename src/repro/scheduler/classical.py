@@ -8,7 +8,7 @@ memory, accelerators), *score* ranks the survivors with pluggable policies
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ClassicalNode", "ClassicalRequest", "ClassicalScheduler"]
 

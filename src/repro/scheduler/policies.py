@@ -39,6 +39,10 @@ class FCFSPolicy:
     def __init__(self, estimate_fn: EstimateFn) -> None:
         self.estimate_fn = estimate_fn
 
+    def spawn(self, shard_id: int) -> "FCFSPolicy":
+        """A per-shard instance sharing this policy's estimate source."""
+        return FCFSPolicy(self.estimate_fn)
+
     def on_recalibration(self, qpus: list[QPU]) -> None:
         _forward_recalibration(self.estimate_fn, qpus)
 
@@ -84,6 +88,10 @@ class LeastBusyPolicy:
     def __init__(self, estimate_fn: EstimateFn) -> None:
         self.estimate_fn = estimate_fn
 
+    def spawn(self, shard_id: int) -> "LeastBusyPolicy":
+        """A per-shard instance sharing this policy's estimate source."""
+        return LeastBusyPolicy(self.estimate_fn)
+
     def on_recalibration(self, qpus: list[QPU]) -> None:
         _forward_recalibration(self.estimate_fn, qpus)
 
@@ -114,7 +122,12 @@ class RandomPolicy:
     name = "random"
 
     def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def spawn(self, shard_id: int) -> "RandomPolicy":
+        """A per-shard instance with a shard-derived RNG stream."""
+        return RandomPolicy(seed=self._seed + shard_id)
 
     def assign(
         self,

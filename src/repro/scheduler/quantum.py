@@ -94,6 +94,23 @@ class QonductorScheduler:
         self._cycle = 0
         self._on_recalibrate = on_recalibrate
 
+    def spawn(self, shard_id: int) -> "QonductorScheduler":
+        """A per-shard scheduler over this one's configuration.
+
+        Shares the estimate source (one fleet-wide cache) and derives the
+        NSGA-II seed from the shard id, so shard 0 of a 1-shard fleet is
+        seeded exactly like the unsharded scheduler and a sharded run
+        stays deterministic.
+        """
+        return QonductorScheduler(
+            self.estimate_fn,
+            preference=self.preference,
+            pop_size=self.pop_size,
+            max_generations=self.max_generations,
+            seed=self._seed + shard_id,
+            on_recalibrate=self._on_recalibrate,
+        )
+
     def on_recalibration(self, qpus: list[QPU]) -> None:
         """Calibration-cycle hook (called by the cloud simulator).
 

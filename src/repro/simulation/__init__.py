@@ -1,6 +1,28 @@
 """Simulation substrate: ideal statevector, noisy trajectories, readout
 errors, distribution metrics, and the analytic ESP fidelity model."""
 
+from .distributions import (
+    counts_to_probs,
+    hellinger_distance,
+    hellinger_fidelity,
+    marginal_counts,
+    normalize_counts,
+    probs_to_vector,
+    total_variation_distance,
+)
+from .esp import (
+    circuit_duration_ns,
+    esp,
+    esp_components,
+    esp_to_hellinger,
+    estimate_fidelity_analytic,
+)
+from .noise import GateNoise, NoiseModel, QubitNoise
+from .readout import (
+    apply_confusion_single,
+    apply_readout_noise_probs,
+    full_confusion_matrix,
+)
 from .statevector import (
     MAX_STATEVECTOR_QUBITS,
     apply_gate,
@@ -11,29 +33,7 @@ from .statevector import (
     simulate_statevector,
     zero_state,
 )
-from .distributions import (
-    counts_to_probs,
-    hellinger_distance,
-    hellinger_fidelity,
-    marginal_counts,
-    normalize_counts,
-    probs_to_vector,
-    total_variation_distance,
-)
-from .noise import GateNoise, NoiseModel, QubitNoise
-from .readout import (
-    apply_confusion_single,
-    apply_readout_noise_probs,
-    full_confusion_matrix,
-)
 from .trajectory import NoisyResult, NoisySimulator
-from .esp import (
-    esp_components,
-    circuit_duration_ns,
-    esp,
-    esp_to_hellinger,
-    estimate_fidelity_analytic,
-)
 
 __all__ = [
     "MAX_STATEVECTOR_QUBITS",

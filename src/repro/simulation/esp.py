@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from ..circuits.circuit import Circuit
 from .noise import NoiseModel
 
-__all__ = ["esp", "esp_components", "esp_to_hellinger", "estimate_fidelity_analytic", "circuit_duration_ns"]
+__all__ = [
+    "esp",
+    "esp_components",
+    "esp_to_hellinger",
+    "estimate_fidelity_analytic",
+    "circuit_duration_ns",
+]
 
 
 def circuit_duration_ns(circuit: Circuit, noise_model: NoiseModel) -> float:

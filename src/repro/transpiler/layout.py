@@ -37,7 +37,7 @@ class Layout:
         return self.logical_to_physical[logical]
 
     def inverse(self) -> dict[int, int]:
-        return {p: l for l, p in self.logical_to_physical.items()}
+        return {p: lq for lq, p in self.logical_to_physical.items()}
 
     def apply(self, circuit: Circuit) -> Circuit:
         """Remap ``circuit`` onto the physical register."""

@@ -67,9 +67,9 @@ def route(
         q: q for q in range(circuit.num_qubits)
     }
     # Check the initial region is routable at all.
-    for l, p in l2p.items():
+    for lq, p in l2p.items():
         if not 0 <= p < num_physical:
-            raise ValueError(f"initial mapping places {l} at invalid {p}")
+            raise ValueError(f"initial mapping places {lq} at invalid {p}")
 
     out = Circuit(num_physical, circuit.name)
     out.metadata = dict(circuit.metadata)
@@ -109,7 +109,7 @@ def route(
             )
         while dist[l2p[a], l2p[b]] > 1:
             pa, pb = l2p[a], l2p[b]
-            p2l = {p: l for l, p in l2p.items()}
+            p2l = {p: lq for lq, p in l2p.items()}
             # Candidate swaps: edges incident to either endpoint.
             best_swap, best_cost = None, float("inf")
             for endpoint in (pa, pb):

@@ -14,7 +14,7 @@ from ..circuits.circuit import Circuit
 from ..circuits.metrics import CircuitMetrics, compute_metrics
 from ..simulation.noise import NoiseModel
 from .decompose import decompose_circuit, fuse_1q_runs
-from .layout import Layout, linear_path_layout, noise_aware_layout, trivial_layout
+from .layout import linear_path_layout, noise_aware_layout, trivial_layout
 from .routing import route
 from .scheduling import Schedule, schedule_circuit
 

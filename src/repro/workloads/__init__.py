@@ -1,14 +1,18 @@
 """Benchmark circuit library (MQT-Bench substitute)."""
 
+from .dynamics import amplitude_estimation, tfim_trotter
 from .ghz import ghz, ghz_linear, w_state
-from .qft import qft, qft_entangled
-from .qaoa import maxcut_cost, qaoa_maxcut, qaoa_ring_maxcut, random_maxcut_graph
-from .vqe import real_amplitudes, two_local, vqe_ansatz
 from .grover import diffuser, grover, grover_oracle, mcp, mcx
 from .oracles import bernstein_vazirani, deutsch_jozsa
+from .qaoa import (
+    maxcut_cost,
+    qaoa_maxcut,
+    qaoa_ring_maxcut,
+    random_maxcut_graph,
+)
+from .qft import qft, qft_entangled
 from .qpe import phase_estimation, ripple_adder
 from .random_circuits import clustered_circuit, random_circuit
-from .dynamics import amplitude_estimation, tfim_trotter
 from .suite import (
     BENCHMARKS,
     SampledJob,
@@ -16,6 +20,7 @@ from .suite import (
     benchmark_names,
     generate,
 )
+from .vqe import real_amplitudes, two_local, vqe_ansatz
 
 __all__ = [
     "ghz",

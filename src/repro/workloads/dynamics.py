@@ -8,10 +8,6 @@ estimation built from Grover powers.
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
 from ..circuits.circuit import Circuit
 from .grover import diffuser, grover_oracle
 

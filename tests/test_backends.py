@@ -11,7 +11,6 @@ from repro.backends import (
     average_calibrations,
     build_templates,
     default_fleet,
-    falcon27_coupling,
     fleet_of_size,
     get_model,
     heavy_hex_like,

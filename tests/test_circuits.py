@@ -1,14 +1,11 @@
 """Unit tests for the circuit IR (gates, circuit container, DAG, metrics)."""
 
-import math
-
 import numpy as np
 import pytest
 
 from repro.circuits import (
     GATE_SPECS,
     Circuit,
-    CircuitMetrics,
     Gate,
     circuit_to_dag,
     compute_metrics,

@@ -207,6 +207,23 @@ class TestLoadGenerator:
         rates = [diurnal_rate(h) for h in range(24)]
         assert min(rates) >= 1100 - 1 and max(rates) <= 2050 + 1
 
+    def test_diurnal_swing_scales_with_mean_rate(self):
+        """Regression: the sinusoidal amplitude must rescale with
+        ``mean_rate`` — a 2x load profile is exactly the IBM profile
+        doubled, not a flattened swing clipped to a doubled band."""
+        for hour in np.linspace(0.0, 24.0, 49):
+            base = diurnal_rate(hour, mean_rate=1500.0)
+            assert diurnal_rate(hour, mean_rate=3000.0) == pytest.approx(
+                2.0 * base
+            )
+            assert diurnal_rate(hour, mean_rate=750.0) == pytest.approx(
+                0.5 * base
+            )
+        # The scaled band still clips: the doubled profile stays inside
+        # the doubled IBM band.
+        doubled = [diurnal_rate(h, mean_rate=3000.0) for h in range(24)]
+        assert min(doubled) >= 2 * 1100 - 1 and max(doubled) <= 2 * 2050 + 1
+
 
 class TestCloudSimulator:
     def _run(self, policy, apps, duration=600.0, trigger=None):

@@ -4,7 +4,7 @@ cost model, and plan generation."""
 import numpy as np
 import pytest
 
-from repro.backends import default_fleet, build_templates
+from repro.backends import default_fleet
 from repro.circuits import compute_metrics
 from repro.cloud import ExecutionModel
 from repro.cloud.job import QuantumJob

@@ -166,6 +166,58 @@ class TestEstimateCache:
         assert len(cache) == 1
         assert cache.get(("fp", 4)) is not None
 
+    def test_save_load_roundtrip(self, tmp_path):
+        calls = []
+
+        def base(job, qpu):
+            calls.append(job.job_id)
+            return 0.9, 10.0
+
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        warm = CachedEstimator(base)
+        job = QuantumJob.from_circuit(ghz_linear(5), shots=1024)
+        other = QuantumJob.from_circuit(ghz_linear(7), shots=2048)
+        warm(job, qpu)
+        warm(other, qpu)
+        path = tmp_path / "estimates.json"
+        assert warm.save(path) == 2
+
+        # A cold estimator warm-started from disk serves without base calls.
+        cold = CachedEstimator(base)
+        assert cold.load(path) == 2
+        before = len(calls)
+        assert cold(job, qpu) == (0.9, 10.0)
+        assert cold(other, qpu) == (0.9, 10.0)
+        assert len(calls) == before
+        assert cold.stats.hits == 2
+
+    def test_load_misses_after_recalibration(self, tmp_path):
+        """Epoch-keyed entries from a stale calibration never hit."""
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        warm = CachedEstimator(lambda j, q: (0.8, 5.0))
+        job = QuantumJob.from_circuit(ghz_linear(4), shots=2048)
+        warm(job, qpu)
+        path = tmp_path / "estimates.json"
+        warm.save(path)
+
+        qpu.recalibrate()  # the saved epoch is now dead
+        calls = []
+
+        def base(j, q):
+            calls.append(j.job_id)
+            return 0.7, 6.0
+
+        cold = CachedEstimator(base)
+        cold.load(path)
+        assert cold(job, qpu) == (0.7, 6.0)  # re-estimated, not stale
+        assert len(calls) == 1
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "estimates.json"
+        path.write_text('{"version": 999, "entries": []}')
+        with pytest.raises(ValueError):
+            EstimateCache().load(path)
+
     def test_execution_component_cache(self):
         qpu = default_fleet(seed=7, names=["lagos"])[0]
         em = ExecutionModel(seed=1)

@@ -1,0 +1,336 @@
+"""Fleet-layer tests: shard/balancer routing, sharded-vs-unsharded
+equivalence, and the streaming arrival pipeline.
+
+The load-bearing guarantees: a 1-shard sharded simulator reproduces the
+unsharded simulator bit-identically (FCFS) / to 1e-12 (Qonductor), and a
+run fed by the lazy arrival iterator matches a run fed the eager list
+while holding only in-flight applications in memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import default_fleet
+from repro.backends.fleet import fleet_of_size
+from repro.cloud import (
+    CloudSimulator,
+    ExecutionModel,
+    FleetShard,
+    LeastLoadedBalancer,
+    LoadGenerator,
+    QuantumJob,
+    QubitFitBalancer,
+    RoundRobinBalancer,
+    SimulatedQPU,
+    SimulationConfig,
+    make_balancer,
+    partition_fleet,
+)
+from repro.experiments.common import trained_estimator
+from repro.scheduler import FCFSPolicy, QonductorScheduler, SchedulingTrigger
+from repro.workloads import ghz_linear
+
+SERIES = (
+    "mean_fidelity",
+    "mean_completion_time",
+    "mean_utilization",
+    "scheduler_queue_size",
+)
+
+
+def _fake_estimate(job, qpu):
+    return 0.5 + 0.4 / (1 + job.num_qubits + len(qpu.name)), 12.0
+
+
+def _job(width: int) -> QuantumJob:
+    return QuantumJob.from_circuit(ghz_linear(width), keep_circuit=False)
+
+
+def _shards(widths_per_shard, policy=None):
+    """Shards over slices of the default fleet, one per width bucket."""
+    shards = []
+    for i, names in enumerate(widths_per_shard):
+        backends = [
+            SimulatedQPU(q) for q in default_fleet(seed=7, names=list(names))
+        ]
+        shards.append(
+            FleetShard(i, backends, policy or FCFSPolicy(_fake_estimate))
+        )
+    return shards
+
+
+class TestPartition:
+    def test_interleaved_deal(self):
+        fleet = fleet_of_size(8, seed=7)
+        groups = partition_fleet(fleet, 3)
+        assert [len(g) for g in groups] == [3, 3, 2]
+        assert [q.name for q in groups[0]] == ["qpu00", "qpu03", "qpu06"]
+        flat = {q.name for g in groups for q in g}
+        assert flat == {q.name for q in fleet}
+
+    def test_rejects_bad_counts(self):
+        fleet = fleet_of_size(4, seed=7)
+        with pytest.raises(ValueError):
+            partition_fleet(fleet, 0)
+        with pytest.raises(ValueError):
+            partition_fleet(fleet, 5)
+
+    def test_make_balancer(self):
+        assert isinstance(make_balancer("round_robin"), RoundRobinBalancer)
+        rr = RoundRobinBalancer()
+        assert make_balancer(rr) is rr
+        with pytest.raises(KeyError):
+            make_balancer("bogus")
+
+
+class TestBalancers:
+    def test_round_robin_deterministic_cycle(self):
+        shards = _shards([["auckland"], ["hanoi"], ["cairo"]])
+        routed = [
+            RoundRobinBalancer(), RoundRobinBalancer()
+        ]
+        seqs = []
+        for balancer in routed:
+            seqs.append(
+                [balancer.route(_job(5), shards, 0.0).shard_id
+                 for _ in range(7)]
+            )
+        assert seqs[0] == seqs[1] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_round_robin_skips_infeasible(self):
+        # lagos/nairobi are 7q; auckland is 27q -> wide jobs all on shard 0.
+        shards = _shards([["auckland"], ["lagos"], ["nairobi"]])
+        balancer = RoundRobinBalancer()
+        picks = [balancer.route(_job(16), shards, 0.0).shard_id
+                 for _ in range(4)]
+        assert picks == [0, 0, 0, 0]
+
+    def test_least_loaded_monotonic_spread(self):
+        """Routing identical jobs into pending queues visits every shard
+        before revisiting any (load grows monotonically with each route)."""
+        scheduler = QonductorScheduler(_fake_estimate, seed=0)
+        shards = _shards(
+            [["auckland"], ["hanoi"], ["cairo"], ["kolkata"]],
+            policy=scheduler,
+        )
+        balancer = LeastLoadedBalancer()
+        picks = []
+        for _ in range(8):
+            shard = balancer.route(_job(5), shards, 0.0)
+            shard.pending.append(_job(5))  # what the simulator does
+            picks.append(shard.shard_id)
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_least_loaded_sees_device_backlog(self):
+        shards = _shards([["auckland"], ["hanoi"]])
+        shards[0].backends[0].free_at = 500.0  # deep backlog on shard 0
+        assert LeastLoadedBalancer().route(_job(5), shards, 0.0).shard_id == 1
+
+    def test_qubit_fit_never_routes_to_too_narrow_shard(self):
+        shards = _shards([["lagos"], ["guadalupe"], ["auckland"]])  # 7/16/27
+        balancer = QubitFitBalancer()
+        rng = np.random.default_rng(0)
+        for width in rng.integers(2, 28, size=40):
+            shard = balancer.route(_job(int(width)), shards, 0.0)
+            assert shard.max_qubits >= width
+
+    def test_qubit_fit_prefers_tightest(self):
+        shards = _shards([["lagos"], ["guadalupe"], ["auckland"]])  # 7/16/27
+        balancer = QubitFitBalancer()
+        assert balancer.route(_job(5), shards, 0.0).shard_id == 0
+        assert balancer.route(_job(10), shards, 0.0).shard_id == 1
+        assert balancer.route(_job(20), shards, 0.0).shard_id == 2
+
+
+class TestShardedEquivalence:
+    NAMES = ["auckland", "algiers", "lagos"]
+
+    def _apps(self, seed=4, duration=900.0):
+        gen = LoadGenerator(mean_rate_per_hour=600, max_qubits=27, seed=seed)
+        return gen.generate(duration)
+
+    def _run(self, policy, *, sharded: bool, duration=900.0, recal=None):
+        fleet = default_fleet(seed=7, names=self.NAMES)
+        config = SimulationConfig(
+            duration_seconds=duration, seed=5, recalibrate_every_seconds=recal
+        )
+        if sharded:
+            sim = CloudSimulator.sharded(
+                fleet,
+                policy,
+                num_shards=1,
+                execution_model=ExecutionModel(seed=5),
+                trigger_factory=lambda i: SchedulingTrigger(
+                    queue_limit=20, interval_seconds=60
+                ),
+                config=config,
+            )
+        else:
+            sim = CloudSimulator(
+                fleet,
+                policy,
+                ExecutionModel(seed=5),
+                trigger=SchedulingTrigger(queue_limit=20, interval_seconds=60),
+                config=config,
+            )
+        return sim.run(self._apps(duration=duration))
+
+    def test_one_shard_fcfs_bit_identical(self):
+        a = self._run(FCFSPolicy(_fake_estimate), sharded=False)
+        b = self._run(FCFSPolicy(_fake_estimate), sharded=True)
+        for attr in SERIES:
+            at, av = getattr(a, attr).as_arrays()
+            bt, bv = getattr(b, attr).as_arrays()
+            assert np.array_equal(at, bt) and np.array_equal(av, bv)
+        assert a.completed_jobs == b.completed_jobs
+        assert a.events_processed == b.events_processed
+        assert a.scheduling_cycles == b.scheduling_cycles
+        assert a.per_qpu_busy_seconds == b.per_qpu_busy_seconds
+        assert a.per_qpu_jobs == b.per_qpu_jobs
+
+    def test_one_shard_qonductor_equivalent(self):
+        estimator = trained_estimator(
+            seed=7, names=tuple(self.NAMES), num_records=150
+        )
+
+        def make():
+            return QonductorScheduler(
+                estimator.cached(), seed=5, max_generations=8
+            )
+
+        a = self._run(make(), sharded=False, recal=400.0)
+        b = self._run(make(), sharded=True, recal=400.0)
+        for attr in SERIES:
+            at, av = getattr(a, attr).as_arrays()
+            bt, bv = getattr(b, attr).as_arrays()
+            assert np.array_equal(at, bt)
+            assert np.allclose(av, bv, rtol=0.0, atol=1e-12)
+        assert a.completed_jobs == b.completed_jobs
+        assert a.scheduling_cycles == b.scheduling_cycles
+        for name, busy in a.per_qpu_busy_seconds.items():
+            assert b.per_qpu_busy_seconds[name] == pytest.approx(
+                busy, abs=1e-9
+            )
+
+    def test_multi_shard_completes_and_breaks_down(self):
+        apps = self._apps()
+        fleet = default_fleet(
+            seed=7, names=["auckland", "algiers", "cairo", "hanoi"]
+        )
+        sim = CloudSimulator.sharded(
+            fleet,
+            FCFSPolicy(_fake_estimate),
+            num_shards=2,
+            balancer="least_loaded",
+            execution_model=ExecutionModel(seed=5),
+            config=SimulationConfig(duration_seconds=900.0, seed=5),
+        )
+        m = sim.run(apps)
+        assert m.num_shards == 2
+        assert m.completed_jobs == len(apps)
+        assert sum(m.per_shard_jobs.values()) == len(apps)
+        assert all(v > 0 for v in m.per_shard_jobs.values())
+        assert set(m.shard_queue_size) == {0, 1}
+        summary = m.summary()
+        assert summary["num_shards"] == 2
+        assert summary["per_shard_jobs"] == m.per_shard_jobs
+
+    def test_multi_shard_qonductor_per_shard_cycles(self):
+        """Each shard runs its own trigger/scheduler; both shards cycle."""
+        apps = self._apps()
+        fleet = default_fleet(
+            seed=7, names=["auckland", "algiers", "cairo", "hanoi"]
+        )
+        estimator = trained_estimator(
+            seed=7, names=tuple(self.NAMES), num_records=150
+        )
+        cached = estimator.cached()
+        sim = CloudSimulator.sharded(
+            fleet,
+            QonductorScheduler(cached, seed=5, max_generations=5),
+            num_shards=2,
+            balancer="round_robin",
+            execution_model=ExecutionModel(seed=5),
+            trigger_factory=lambda i: SchedulingTrigger(
+                queue_limit=10, interval_seconds=60
+            ),
+            config=SimulationConfig(
+                duration_seconds=900.0, seed=5, recalibrate_every_seconds=450.0
+            ),
+        )
+        m = sim.run(apps)
+        assert m.completed_jobs + m.unschedulable_jobs == len(apps)
+        assert m.scheduling_cycles >= 2
+        # Shared cache across shards: merged counters are reported once.
+        assert m.estimate_cache["hits"] + m.estimate_cache["misses"] > 0
+        assert cached.stats.invalidations == 1  # one fleet-wide recal
+
+
+class TestStreaming:
+    def test_iter_arrivals_matches_generate(self):
+        gen_a = LoadGenerator(mean_rate_per_hour=900, seed=11)
+        gen_b = LoadGenerator(mean_rate_per_hour=900, seed=11)
+        eager = gen_a.generate(1200.0)
+        lazy = list(gen_b.iter_arrivals(1200.0))
+        assert len(eager) == len(lazy)
+        for x, y in zip(eager, lazy):
+            assert x.arrival_time == y.arrival_time
+            assert x.quantum_job.metrics.fingerprint == (
+                y.quantum_job.metrics.fingerprint
+            )
+            assert x.quantum_job.shots == y.quantum_job.shots
+            assert x.quantum_job.mitigation == y.quantum_job.mitigation
+
+    def test_run_from_iterator_matches_list(self):
+        def run(stream: bool):
+            gen = LoadGenerator(mean_rate_per_hour=600, seed=4)
+            fleet = default_fleet(seed=7, names=["auckland", "lagos"])
+            sim = CloudSimulator(
+                fleet,
+                FCFSPolicy(_fake_estimate),
+                ExecutionModel(seed=5),
+                config=SimulationConfig(duration_seconds=900.0, seed=5),
+            )
+            apps = gen.iter_arrivals(900.0) if stream else gen.generate(900.0)
+            return sim.run(apps)
+
+        a, b = run(False), run(True)
+        for attr in SERIES:
+            at, av = getattr(a, attr).as_arrays()
+            bt, bv = getattr(b, attr).as_arrays()
+            assert np.array_equal(at, bt) and np.array_equal(av, bv)
+        assert a.completed_jobs == b.completed_jobs
+        assert a.per_qpu_busy_seconds == b.per_qpu_busy_seconds
+
+    def test_streaming_keeps_inflight_bounded(self):
+        gen = LoadGenerator(mean_rate_per_hour=2000, seed=4)
+        fleet = default_fleet(seed=7, names=["auckland", "algiers"])
+        sim = CloudSimulator(
+            fleet,
+            FCFSPolicy(_fake_estimate),
+            ExecutionModel(seed=5),
+            config=SimulationConfig(duration_seconds=1800.0, seed=5),
+        )
+        m = sim.run(gen.iter_arrivals(1800.0))
+        # FCFS dispatches on arrival: at most the one arriving app is in
+        # flight, regardless of how many the stream carries.
+        assert m.completed_jobs + m.unschedulable_jobs > 100
+        assert m.peak_inflight_apps == 1
+
+    def test_circuit_pool_bounds_distinct_shapes(self):
+        gen = LoadGenerator(
+            mean_rate_per_hour=2000,
+            seed=4,
+            circuit_pool_size=16,
+            shots_grid=(1024, 4096),
+        )
+        apps = gen.generate(1800.0)
+        shapes = {
+            (a.quantum_job.metrics.fingerprint, a.quantum_job.shots)
+            for a in apps
+        }
+        assert len(apps) > 100
+        assert len(shapes) <= 16
+        # Fresh job identities despite shared structure.
+        ids = {a.quantum_job.job_id for a in apps}
+        assert len(ids) == len(apps)

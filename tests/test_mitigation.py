@@ -7,11 +7,8 @@ import pytest
 from repro.circuits import Circuit, gate_matrix
 from repro.mitigation import (
     CX_TWIRL_SET,
-    DD,
-    PEC,
     REM,
     ZNE,
-    CutPlan,
     ExpFactory,
     LinearFactory,
     MitigationStack,

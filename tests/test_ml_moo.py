@@ -6,7 +6,6 @@ import pytest
 from repro.ml import (
     KFold,
     LinearRegression,
-    Pipeline,
     PolynomialFeatures,
     Ridge,
     StandardScaler,
