@@ -1,15 +1,26 @@
 """Cloud simulation substrate: jobs, the transpile proxy, the ground-truth
 execution model, simulated backends, load generation, and the simulator."""
 
+from .availability import (
+    AvailabilityEvent,
+    AvailabilityModel,
+    MaintenanceWindow,
+    flash_outage,
+)
 from .backend_sim import SimulatedQPU
 from .execution import MITIGATION_EFFECTS, ExecutionModel, ExecutionRecord
 from .fleet import (
     FleetShard,
     LeastLoadedBalancer,
+    Migration,
     QubitFitBalancer,
+    RebalancePolicy,
     RoundRobinBalancer,
     ShardBalancer,
+    StealHalfRebalancePolicy,
+    ThresholdRebalancePolicy,
     make_balancer,
+    make_rebalancer,
     partition_fleet,
 )
 from .imbalance import QueueTrace, simulate_queue_imbalance
@@ -37,6 +48,15 @@ __all__ = [
     "QubitFitBalancer",
     "make_balancer",
     "partition_fleet",
+    "Migration",
+    "RebalancePolicy",
+    "ThresholdRebalancePolicy",
+    "StealHalfRebalancePolicy",
+    "make_rebalancer",
+    "AvailabilityEvent",
+    "AvailabilityModel",
+    "MaintenanceWindow",
+    "flash_outage",
     "IBM_MEAN_RATE",
     "IBM_RATE_BAND",
     "LoadGenerator",

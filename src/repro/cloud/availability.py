@@ -1,0 +1,201 @@
+"""Dynamic QPU availability: maintenance windows and random outages.
+
+The paper's cloud model assumes a static, always-online fleet, yet its
+own motivation (queue imbalance, calibration-driven quality swings)
+implies devices come and go: providers schedule maintenance, devices
+fail and recover mid-run.  :class:`AvailabilityModel` turns both into a
+deterministic, pre-computed stream of :class:`AvailabilityEvent`s that
+the cloud simulator folds into its event heap, flipping each
+:attr:`QPU.online <repro.backends.qpu.QPU.online>` flag at the event's
+simulated timestamp.
+
+Semantics:
+
+* An offline device accepts **no new assignments** — shard feasibility
+  (:meth:`FleetShard.fits <repro.cloud.fleet.FleetShard.fits>`),
+  balancer routing, scheduler preprocessing, and the baseline policies
+  are all online-aware.  Work already dispatched to the device keeps its
+  committed finish time (the execution model assigns finish times at
+  dispatch), modeling jobs that drain before the window starts.  Jobs
+  *pending* on a batched shard whose feasible devices are transiently
+  offline stay queued until recovery (or migration); only jobs no
+  device in the shard could ever serve are failed.
+* Per QPU, maintenance windows and sampled outages are merged into
+  disjoint offline intervals before events are emitted, so the flag
+  never flaps inside an overlap and every offline event has exactly one
+  matching recovery (or none, when the device stays down through the
+  end of the run).
+* Everything is derived from the model's seed: two identical runs see
+  identical outage schedules.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AvailabilityEvent",
+    "MaintenanceWindow",
+    "AvailabilityModel",
+    "flash_outage",
+]
+
+
+@dataclass(frozen=True)
+class AvailabilityEvent:
+    """One availability flip: ``qpu_name`` goes on/offline at ``time``."""
+
+    time: float
+    qpu_name: str
+    online: bool
+    cause: str = "outage"  # "outage" | "maintenance"
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """A scheduled offline interval ``[start, end)`` for one device.
+
+    ``cause`` labels the emitted events; planned windows default to
+    ``"maintenance"``, while :func:`flash_outage` stamps its correlated
+    windows ``"outage"``.
+    """
+
+    qpu_name: str
+    start: float
+    end: float
+    cause: str = "maintenance"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("maintenance window must have end > start")
+
+
+def _merge_intervals(
+    intervals: list[tuple[float, float, str]],
+) -> list[tuple[float, float, str]]:
+    """Union of ``(start, end, cause)`` intervals; earliest cause wins."""
+    merged: list[tuple[float, float, str]] = []
+    for start, end, cause in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end, last_cause = merged[-1]
+            merged[-1] = (last_start, max(last_end, end), last_cause)
+        else:
+            merged.append((start, end, cause))
+    return merged
+
+
+class AvailabilityModel:
+    """Deterministic availability schedule over a fleet.
+
+    Parameters
+    ----------
+    windows:
+        Planned :class:`MaintenanceWindow`\\ s (any order).
+    mean_time_between_outages_s:
+        Per-QPU mean gap between random outages (exponential); ``0``
+        disables random outages entirely.
+    mean_outage_seconds:
+        Mean duration of one random outage (exponential).
+    seed:
+        Seeds the outage sampling; each QPU draws from a substream keyed
+        on its *name* (not its position), so adding, removing, or
+        re-sharding devices never reshuffles the others' schedules.
+    """
+
+    def __init__(
+        self,
+        *,
+        windows: Sequence[MaintenanceWindow] = (),
+        mean_time_between_outages_s: float = 0.0,
+        mean_outage_seconds: float = 900.0,
+        seed: int = 0,
+    ) -> None:
+        if mean_time_between_outages_s < 0:
+            raise ValueError("mean_time_between_outages_s must be >= 0")
+        if mean_outage_seconds <= 0:
+            raise ValueError("mean_outage_seconds must be > 0")
+        self.windows = list(windows)
+        self.mean_time_between_outages_s = mean_time_between_outages_s
+        self.mean_outage_seconds = mean_outage_seconds
+        self.seed = seed
+
+    def _sample_outages(
+        self, qpu_name: str, duration: float
+    ) -> list[tuple[float, float, str]]:
+        """Random offline intervals for one device, keyed on its name."""
+        if not self.mean_time_between_outages_s:
+            return []
+        rng = np.random.default_rng(
+            (self.seed, zlib.crc32(qpu_name.encode()))
+        )
+        out: list[tuple[float, float, str]] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(self.mean_time_between_outages_s))
+            if t >= duration:
+                return out
+            down = float(rng.exponential(self.mean_outage_seconds))
+            out.append((t, t + down, "outage"))
+            t += down
+
+    def schedule(
+        self, qpu_names: Sequence[str], duration: float
+    ) -> list[AvailabilityEvent]:
+        """All availability flips inside ``[0, duration)``, time-ordered.
+
+        Offline intervals per device are the union of its maintenance
+        windows and sampled outages; a recovery event is emitted only
+        when the interval ends inside the horizon.
+        """
+        by_name: dict[str, list[tuple[float, float, str]]] = {
+            name: [] for name in qpu_names
+        }
+        unknown = sorted({
+            w.qpu_name for w in self.windows if w.qpu_name not in by_name
+        })
+        if unknown:
+            raise ValueError(
+                f"maintenance windows name unknown QPUs {unknown}; "
+                f"fleet has {sorted(by_name)}"
+            )
+        for w in self.windows:
+            if w.start < duration:
+                by_name[w.qpu_name].append((w.start, w.end, w.cause))
+        for name in qpu_names:
+            by_name[name].extend(self._sample_outages(name, duration))
+
+        events: list[AvailabilityEvent] = []
+        for name, intervals in by_name.items():
+            for start, end, cause in _merge_intervals(intervals):
+                if start >= duration:
+                    continue
+                events.append(AvailabilityEvent(start, name, False, cause))
+                if end < duration:
+                    events.append(AvailabilityEvent(end, name, True, cause))
+        # Offline before online at identical timestamps, then by name, so
+        # the fold order is reproducible whatever dict order produced it.
+        events.sort(key=lambda e: (e.time, e.online, e.qpu_name))
+        return events
+
+
+def flash_outage(
+    qpu_names: Sequence[str], *, start: float, duration_seconds: float
+) -> AvailabilityModel:
+    """A model that takes ``qpu_names`` down together for one window.
+
+    The worst-case correlated failure (shared cryostat, network cut):
+    every named device goes offline at ``start`` and recovers
+    ``duration_seconds`` later.
+    """
+    return AvailabilityModel(
+        windows=[
+            MaintenanceWindow(
+                name, start, start + duration_seconds, cause="outage"
+            )
+            for name in qpu_names
+        ]
+    )

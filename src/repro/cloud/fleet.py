@@ -21,13 +21,32 @@ Balancing strategies (all deterministic, so seeded runs reproduce):
   ties break on pending load.
 
 Every strategy restricts itself to shards owning at least one wide-enough
-QPU; when *no* shard fits, the job is routed anyway (to the strategy's
-pick over all shards) so the owning scheduler rejects it exactly like the
-unsharded simulator would — keeping 1-shard runs bit-identical to
-unsharded runs.
+**online** QPU (devices go offline for maintenance and outages — see
+:mod:`repro.cloud.availability`); when *no* shard fits, the job is routed
+anyway (to the strategy's pick over all shards) so the owning scheduler
+rejects it exactly like the unsharded simulator would — keeping 1-shard
+runs bit-identical to unsharded runs.
+
+Static partitions skew: under a narrow width distribution a qubit-fit
+shard can saturate while others idle, and an outage can strand a shard's
+pending queue.  A :class:`RebalancePolicy` periodically migrates pending
+(not-yet-dispatched) jobs between shards — the simulator drives it from a
+``REBALANCE`` heap event.  Two deterministic strategies:
+
+* :class:`ThresholdRebalancePolicy` — while the deepest pending queue
+  exceeds a feasible shard's queue by at least ``min_gap`` jobs, move one
+  job at a time from the deepest to the shallowest feasible shard.
+* :class:`StealHalfRebalancePolicy` — each (near-)idle shard steals half
+  of the deepest feasible victim queue, classic work stealing.
+
+Rebalancing is **off by default** (``rebalance=None``): single-shard runs
+and rebalancing-disabled multi-shard runs stay bit-identical to the
+static fleet layer.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from ..backends.qpu import QPU
 from ..scheduler.triggers import SchedulingTrigger
@@ -42,6 +61,11 @@ __all__ = [
     "QubitFitBalancer",
     "make_balancer",
     "partition_fleet",
+    "Migration",
+    "RebalancePolicy",
+    "ThresholdRebalancePolicy",
+    "StealHalfRebalancePolicy",
+    "make_rebalancer",
 ]
 
 #: Seconds of device backlog weighted like one pending job when comparing
@@ -69,16 +93,39 @@ class FleetShard:
         # Batched policies expose .schedule() (the Qonductor scheduler);
         # per-arrival baselines expose .assign().
         self.is_batched = hasattr(policy, "schedule")
-        self.max_qubits = max(b.num_qubits for b in backends)
         self.jobs_routed = 0
+        # Work-stealing accounting (fed by RebalancePolicy moves).
+        self.jobs_stolen_in = 0
+        self.jobs_stolen_out = 0
+        #: Widest QPU the shard *hardware* offers, online or not — the
+        #: permanent-feasibility bound (see :meth:`fits_hardware`).
+        self.hardware_max_qubits = max(b.num_qubits for b in backends)
 
     @property
     def qpus(self) -> list[QPU]:
         return [b.qpu for b in self.backends]
 
+    @property
+    def max_qubits(self) -> int:
+        """Widest *online* QPU in the shard (0 when every QPU is down).
+
+        Computed live so maintenance windows and outages flipping
+        ``QPU.online`` mid-run immediately change what the shard can
+        accept; with the whole shard offline nothing fits and balancers
+        route around it.
+        """
+        return max(
+            (b.num_qubits for b in self.backends if b.qpu.online), default=0
+        )
+
     def fits(self, job: QuantumJob) -> bool:
-        """Whether any QPU in this shard is wide enough for ``job``."""
+        """Whether any *online* QPU in this shard is wide enough."""
         return job.num_qubits <= self.max_qubits
+
+    def fits_hardware(self, job: QuantumJob) -> bool:
+        """Whether any QPU here could *ever* serve ``job`` (offline
+        devices count: they may recover while the job waits)."""
+        return job.num_qubits <= self.hardware_max_qubits
 
     def waiting_map(self, now: float) -> dict[str, float]:
         return {b.name: b.waiting_seconds(now) for b in self.backends}
@@ -110,6 +157,13 @@ class ShardBalancer:
         self, job: QuantumJob, shards: list[FleetShard], now: float
     ) -> FleetShard:
         feasible = [s for s in shards if s.fits(job)]
+        if not feasible:
+            # Nothing fits *right now*.  Prefer shards whose hardware
+            # could ever serve the job — a transiently-offline wide QPU
+            # recovers, and a batched shard holds the job pending until
+            # it does — before falling back to the full list (where the
+            # owning scheduler rejects it, matching unsharded behavior).
+            feasible = [s for s in shards if s.fits_hardware(job)]
         return self.pick(job, feasible or shards, now)
 
     def pick(
@@ -200,3 +254,242 @@ def partition_fleet(fleet: list[QPU], num_shards: int) -> list[list[QPU]]:
             f"cannot split {len(fleet)} QPUs into {num_shards} shards"
         )
     return [fleet[i::num_shards] for i in range(num_shards)]
+
+
+# ---------------------------------------------------------------------------
+# Work-stealing shard rebalancing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Migration:
+    """One pending job moved from ``src`` to ``dst`` by a rebalance cycle."""
+
+    job: QuantumJob
+    src: FleetShard
+    dst: FleetShard
+
+
+class RebalancePolicy:
+    """Periodically migrates pending jobs between overloaded shards.
+
+    Subclasses implement :meth:`rebalance`, which mutates the shards'
+    pending queues directly and returns the moves for accounting.  Rules
+    every strategy follows, so rebalanced runs stay deterministic and
+    well-formed:
+
+    * only *pending* (queued, not yet dispatched) jobs move — work
+      already committed to a device queue stays put;
+    * a job only moves to a shard where it currently fits (some online
+      QPU is wide enough) and whose policy runs a batched pending queue;
+    * ties break on shard id, and queues are scanned in a fixed order,
+      so identical runs produce identical migrations.
+    """
+
+    name = "base"
+
+    def __init__(self, *, interval_seconds: float = 60.0) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be > 0")
+        self.interval_seconds = interval_seconds
+
+    def rebalance(
+        self, shards: list[FleetShard], now: float
+    ) -> list[Migration]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _move(src: FleetShard, index: int, dst: FleetShard) -> Migration:
+        job = src.pending.pop(index)
+        dst.pending.append(job)
+        src.jobs_stolen_out += 1
+        dst.jobs_stolen_in += 1
+        return Migration(job, src, dst)
+
+
+class ThresholdRebalancePolicy(RebalancePolicy):
+    """Drain depth gaps: deepest queue feeds the shallowest feasible one.
+
+    While some shard's pending queue is at least ``min_gap`` jobs deeper
+    than a feasible destination, move one job (newest first — the oldest
+    jobs are closest to being scheduled locally) from the deepest such
+    queue to the shallowest feasible queue.  A source whose jobs fit no
+    eligible destination is skipped, not a stall: shallower shards with
+    drainable gaps still drain.  Terminates because every move shrinks
+    the gap it was chosen for.
+    """
+
+    name = "threshold"
+
+    def __init__(
+        self, *, min_gap: int = 4, interval_seconds: float = 60.0
+    ) -> None:
+        super().__init__(interval_seconds=interval_seconds)
+        if min_gap < 2:
+            raise ValueError("min_gap must be >= 2 (a 1-job gap ping-pongs)")
+        self.min_gap = min_gap
+
+    def rebalance(
+        self, shards: list[FleetShard], now: float
+    ) -> list[Migration]:
+        moves: list[Migration] = []
+        if len(shards) < 2:
+            return moves
+        received: dict[FleetShard, int] = {}
+        # A job moves at most once per cycle: without this, a receiver
+        # that becomes the deepest queue can bounce a just-migrated job
+        # straight back, inflating the counters with net-zero churn (and
+        # shifting receivers' appended tails out from under `received`).
+        moved_ids: set[int] = set()
+        # Online flags cannot flip inside one heap event: snapshot each
+        # shard's online width once instead of re-deriving it via
+        # fits() for every (job, destination) pair in the scan.
+        width = {s.shard_id: s.max_qubits for s in shards}
+        while True:
+            moved = False
+            # Deepest queue first, but a stuck source (its jobs fit no
+            # gap-eligible destination) must not stall the rest of the
+            # fleet — shallower shards with drainable gaps still drain.
+            for src in sorted(
+                shards, key=lambda s: (-len(s.pending), s.shard_id)
+            ):
+                # Gap eligibility is job-independent: hoist it so a
+                # converged tick (no destination deep enough below any
+                # source — the steady state) costs O(shards^2), not a
+                # scan of every queue.
+                eligible = [
+                    s
+                    for s in shards
+                    if s is not src
+                    and s.is_batched
+                    and len(src.pending) - len(s.pending) >= self.min_gap
+                ]
+                if not eligible:
+                    continue
+                for i in range(len(src.pending) - 1, -1, -1):
+                    job = src.pending[i]
+                    if job.job_id in moved_ids:
+                        continue
+                    dsts = [
+                        s
+                        for s in eligible
+                        if job.num_qubits <= width[s.shard_id]
+                    ]
+                    if not dsts:
+                        continue
+                    dst = min(
+                        dsts, key=lambda s: (len(s.pending), s.shard_id)
+                    )
+                    moved_ids.add(job.job_id)
+                    moves.append(self._move(src, i, dst))
+                    received[dst] = received.get(dst, 0) + 1
+                    moved = True
+                    break
+                if moved:
+                    break
+            if not moved:
+                break
+        # Newest-first pops appended each destination's tail in reverse;
+        # restore arrival order among the migrated jobs so the receiving
+        # FCFS batch serves them as they arrived.
+        for dst, count in received.items():
+            tail = dst.pending[-count:]
+            tail.sort(key=lambda j: (j.arrival_time, j.job_id))
+            dst.pending[-count:] = tail
+        return moves
+
+
+class StealHalfRebalancePolicy(RebalancePolicy):
+    """Classic work stealing: idle shards steal half a victim's queue.
+
+    Every shard whose pending queue is at most ``idle_threshold`` jobs
+    deep (scanned in id order) picks the deepest other queue with at
+    least ``min_victim_depth`` jobs *and at least one job the thief can
+    serve*, then steals half of it — newest feasible jobs first,
+    re-queued in their original arrival order.  Shards that received
+    steals earlier in the same cycle are never victims, so a job moves
+    at most once per tick.
+    """
+
+    name = "steal_half"
+
+    def __init__(
+        self,
+        *,
+        idle_threshold: int = 0,
+        min_victim_depth: int = 4,
+        interval_seconds: float = 60.0,
+    ) -> None:
+        super().__init__(interval_seconds=interval_seconds)
+        if min_victim_depth < 2:
+            raise ValueError("min_victim_depth must be >= 2")
+        self.idle_threshold = idle_threshold
+        self.min_victim_depth = min_victim_depth
+
+    def rebalance(
+        self, shards: list[FleetShard], now: float
+    ) -> list[Migration]:
+        moves: list[Migration] = []
+        if len(shards) < 2:
+            return moves
+        # Shards that already received steals this cycle are not victims:
+        # a later thief re-stealing a just-stolen job would bounce work
+        # twice in one tick and inflate the migration counters.
+        receivers: set[int] = set()
+        # Snapshot per-shard online width (constant within one event).
+        width = {s.shard_id: s.max_qubits for s in shards}
+        for thief in sorted(shards, key=lambda s: s.shard_id):
+            if not thief.is_batched:
+                continue
+            if len(thief.pending) > self.idle_threshold:
+                continue
+            thief_width = width[thief.shard_id]
+            # The victim is the deepest queue holding at least one job
+            # the thief can serve: locking onto an infeasible deepest
+            # queue (say, a wide backlog vs a narrow thief) would starve
+            # the thief forever while feasible work queues elsewhere.
+            candidates = [
+                s
+                for s in shards
+                if s is not thief
+                and s.shard_id not in receivers
+                and len(s.pending) >= self.min_victim_depth
+                and any(j.num_qubits <= thief_width for j in s.pending)
+            ]
+            if not candidates:
+                continue
+            victim = max(
+                candidates, key=lambda s: (len(s.pending), -s.shard_id)
+            )
+            want = len(victim.pending) // 2
+            indices = [
+                i
+                for i in range(len(victim.pending) - 1, -1, -1)
+                if victim.pending[i].num_qubits <= thief_width
+            ][:want]
+            for i in sorted(indices, reverse=True):  # pop back to front
+                moves.append(self._move(victim, i, thief))
+            # Popping newest-first appended in reverse; restore arrival
+            # order among the stolen tail.
+            if indices:
+                receivers.add(thief.shard_id)
+                tail = thief.pending[-len(indices):]
+                thief.pending[-len(indices):] = tail[::-1]
+        return moves
+
+
+_REBALANCERS = {
+    ThresholdRebalancePolicy.name: ThresholdRebalancePolicy,
+    StealHalfRebalancePolicy.name: StealHalfRebalancePolicy,
+}
+
+
+def make_rebalancer(strategy: str | RebalancePolicy) -> RebalancePolicy:
+    """Resolve a strategy name (or pass a policy instance through)."""
+    if isinstance(strategy, RebalancePolicy):
+        return strategy
+    if strategy not in _REBALANCERS:
+        raise KeyError(
+            f"unknown rebalancer {strategy!r}; "
+            f"choose from {sorted(_REBALANCERS)}"
+        )
+    return _REBALANCERS[strategy]()

@@ -60,6 +60,10 @@ class LoadGenerator:
     mitigation_fraction: float = 0.5
     mean_qubits: float = 6.0
     std_qubits: float = 3.0
+    #: Width clamp for sampled jobs.  Raising ``min_qubits`` produces the
+    #: skewed-wide streams only a subset of the fleet can serve — the
+    #: stress regime for qubit-fit routing and shard rebalancing.
+    min_qubits: int = 2
     max_qubits: int = 27
     diurnal: bool = True
     keep_circuits: bool = False
@@ -80,6 +84,7 @@ class LoadGenerator:
         return WorkloadSampler(
             mean_qubits=self.mean_qubits,
             std_qubits=self.std_qubits,
+            min_qubits=self.min_qubits,
             max_qubits=self.max_qubits,
             mitigation_fraction=self.mitigation_fraction,
             benchmarks=list(self.benchmarks) if self.benchmarks else None,

@@ -40,8 +40,17 @@ class SimulationMetrics:
     scheduler_queue_size: TimeSeries = field(default_factory=TimeSeries)
     per_qpu_busy_seconds: dict[str, float] = field(default_factory=dict)
     per_qpu_jobs: dict[str, int] = field(default_factory=dict)
+    #: Jobs whose COMPLETION event folded inside the horizon.  A job
+    #: dispatched near the end of the run may finish after it; those
+    #: count as dispatched but not completed.
     completed_jobs: int = 0
+    #: Jobs handed to a device queue (assignment succeeded).
+    dispatched_jobs: int = 0
     unschedulable_jobs: int = 0
+    #: Jobs still pending when the run ended — e.g. held through an
+    #: outage that outlived the horizon.  Every arrival lands in exactly
+    #: one of dispatched / unschedulable / pending_at_horizon.
+    pending_at_horizon: int = 0
     scheduling_cycles: int = 0
     #: Fleet-layer accounting: shard count, jobs routed per shard, and
     #: (for multi-shard runs) each shard's pending-queue series alongside
@@ -49,6 +58,17 @@ class SimulationMetrics:
     num_shards: int = 1
     per_shard_jobs: dict[int, int] = field(default_factory=dict)
     shard_queue_size: dict[int, TimeSeries] = field(default_factory=dict)
+    #: Work-stealing accounting (only populated when a rebalancer runs):
+    #: rebalance cycles executed, pending jobs migrated, and each shard's
+    #: ``{"in": stolen_in, "out": stolen_out}`` totals.
+    rebalance_cycles: int = 0
+    jobs_migrated: int = 0
+    per_shard_steals: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: Dynamic-availability accounting: offline/online flips folded into
+    #: the run and the total seconds each QPU spent offline.
+    outage_events: int = 0
+    recovery_events: int = 0
+    qpu_downtime_seconds: dict[str, float] = field(default_factory=dict)
     #: Peak number of applications held in flight (arrived but not yet
     #: dispatched).  Streaming runs keep this independent of stream length.
     peak_inflight_apps: int = 0
@@ -82,8 +102,15 @@ class SimulationMetrics:
             "events_per_second": round(self.events_per_second, 1),
             "estimate_cache": dict(self.estimate_cache),
             "completed_jobs": self.completed_jobs,
+            "dispatched_jobs": self.dispatched_jobs,
             "unschedulable_jobs": self.unschedulable_jobs,
+            "pending_at_horizon": self.pending_at_horizon,
             "scheduling_cycles": self.scheduling_cycles,
+            "rebalance_cycles": self.rebalance_cycles,
+            "jobs_migrated": self.jobs_migrated,
+            "per_shard_steals": dict(self.per_shard_steals),
+            "outage_events": self.outage_events,
+            "recovery_events": self.recovery_events,
             "mean_fidelity": self.mean_fidelity.mean(),
             "final_mean_jct": self.mean_completion_time.last(),
             "mean_utilization": self.mean_utilization.mean(),

@@ -22,10 +22,24 @@ pre-built application list or a lazy, time-ordered iterator (see
 the in-flight applications are held in memory, so peak memory is
 independent of how many jobs the run streams through.
 
-Completion events feed running aggregates, so metric samples are O(1) in
-the number of finished applications instead of rescanning the stream.
-Metrics sampled over time: mean fidelity, mean end-to-end completion time,
-mean QPU utilization, and the pending-queue sizes (Figs. 6, 8, 9).
+Completion events fold into running sums/counts (not per-completion
+lists), so each metric sample costs O(backends) time and the aggregate
+state is O(1) memory no matter how many applications finish.  Metrics
+sampled over time: mean fidelity, mean end-to-end completion time, mean
+QPU utilization, and the pending-queue sizes (Figs. 6, 8, 9).
+
+Two optional subsystems make the fleet *adaptive*:
+
+* **Dynamic availability** — an
+  :class:`~repro.cloud.availability.AvailabilityModel` pre-computes
+  maintenance windows and random outage/recovery flips; ``AVAILABILITY``
+  events toggle ``QPU.online`` mid-run and every routing/scheduling
+  layer is online-aware.  In-flight work keeps its committed finish time.
+* **Work stealing** — a
+  :class:`~repro.cloud.fleet.RebalancePolicy` runs on periodic
+  ``REBALANCE`` events, migrating pending jobs from overloaded shards to
+  feasible underloaded ones.  Both are off by default, leaving static
+  runs bit-identical.
 """
 
 from __future__ import annotations
@@ -41,9 +55,17 @@ import numpy as np
 
 from ..backends.qpu import QPU
 from ..scheduler.triggers import SchedulingTrigger
+from .availability import AvailabilityModel
 from .backend_sim import SimulatedQPU
 from .execution import ExecutionModel
-from .fleet import FleetShard, ShardBalancer, make_balancer, partition_fleet
+from .fleet import (
+    FleetShard,
+    RebalancePolicy,
+    ShardBalancer,
+    make_balancer,
+    make_rebalancer,
+    partition_fleet,
+)
 from .job import HybridApplication, JobStatus
 from .metrics import SimulationMetrics, TimeSeries
 
@@ -56,14 +78,22 @@ class EventType(IntEnum):
     Completions land before samples so a sample at time t sees every
     application with ``finish_time <= t``; recalibration, sampling,
     arrivals, and trigger deadlines keep the processing order of the
-    original time-stepping loop.
+    original time-stepping loop.  Availability flips land right after
+    completions so routing at time t sees the fleet state *at* t.
+    Rebalancing sees every same-instant arrival but runs *before*
+    trigger deadlines: a rebalance tick aligned with a trigger deadline
+    migrates the queued backlog first, and the triggers then schedule
+    the rebalanced queues (ordered after, an aligned tick would only
+    ever see freshly drained queues and steal nothing).
     """
 
     COMPLETION = 0
-    RECALIBRATION = 1
-    SAMPLE = 2
-    ARRIVAL = 3
-    TRIGGER = 4
+    AVAILABILITY = 1
+    RECALIBRATION = 2
+    SAMPLE = 3
+    ARRIVAL = 4
+    REBALANCE = 5
+    TRIGGER = 6
 
 
 @dataclass
@@ -95,6 +125,8 @@ class CloudSimulator:
         config: SimulationConfig | None = None,
         shards: list[FleetShard] | None = None,
         balancer: str | ShardBalancer = "round_robin",
+        rebalance: str | RebalancePolicy | None = None,
+        availability: AvailabilityModel | None = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.execution_model = execution_model or ExecutionModel(
@@ -118,6 +150,12 @@ class CloudSimulator:
                 )
             ]
         self.balancer = make_balancer(balancer)
+        # Both adaptive subsystems default to off: static fleets stay
+        # bit-identical to the pre-rebalancing simulator.
+        self.rebalancer = (
+            make_rebalancer(rebalance) if rebalance is not None else None
+        )
+        self.availability = availability
         self._rng = np.random.default_rng(self.config.seed)
 
     @classmethod
@@ -131,6 +169,8 @@ class CloudSimulator:
         execution_model: ExecutionModel | None = None,
         trigger_factory=None,
         config: SimulationConfig | None = None,
+        rebalance: str | RebalancePolicy | None = None,
+        availability: AvailabilityModel | None = None,
     ) -> "CloudSimulator":
         """Partition ``fleet`` into ``num_shards`` shards.
 
@@ -138,7 +178,10 @@ class CloudSimulator:
         (every scheduling policy does) or a callable
         ``shard_id -> policy`` building one instance per shard.
         ``trigger_factory`` (``shard_id -> SchedulingTrigger``) defaults
-        to a fresh paper-default trigger per shard.
+        to a fresh paper-default trigger per shard.  ``rebalance``
+        (a strategy name or :class:`RebalancePolicy`) turns on
+        work-stealing between the shards; ``availability`` injects
+        maintenance windows and outages.
         """
         policy_factory = policy.spawn if hasattr(policy, "spawn") else policy
         shards = [
@@ -155,6 +198,8 @@ class CloudSimulator:
             config=config,
             shards=shards,
             balancer=balancer,
+            rebalance=rebalance,
+            availability=availability,
         )
 
     # -- single-shard compatibility views ------------------------------
@@ -188,7 +233,9 @@ class CloudSimulator:
     ) -> None:
         backend = next(b for b in shard.backends if b.name == qpu_name)
         record = backend.execute(job, now, self.execution_model, self._rng)
-        metrics.completed_jobs += 1
+        # Dispatch != completion: the job is only *completed* when its
+        # COMPLETION event folds inside the horizon (see ``complete``).
+        metrics.dispatched_jobs += 1
         app = apps_by_job.pop(job.job_id, None)
         if app is not None:
             app.pre_seconds = record.classical_pre_seconds
@@ -229,9 +276,17 @@ class CloudSimulator:
                 shard, dec.job, dec.qpu_name, now, metrics, apps_by_job,
                 on_finish,
             )
+        # Fail only jobs no device in the shard could *ever* serve.  A
+        # job that fits a currently-offline QPU is a transient casualty
+        # of an outage: it stays pending until the device recovers (or a
+        # rebalance cycle migrates it to a shard that fits it now).
+        retained: list = []
         for job in schedule.unschedulable:
-            self._fail(job, metrics, apps_by_job)
-        shard.pending = []
+            if any(b.num_qubits >= job.num_qubits for b in shard.backends):
+                retained.append(job)
+            else:
+                self._fail(job, metrics, apps_by_job)
+        shard.pending = retained
 
     def _schedule_immediate(
         self, shard: FleetShard, jobs: list, now: float, metrics, apps_by_job,
@@ -240,8 +295,11 @@ class CloudSimulator:
         assignments = shard.policy.assign(
             jobs, shard.qpus, shard.waiting_map(now)
         )
+        # One assign() call is one scheduling cycle, however many jobs it
+        # covers — matching the batched path, so baseline-vs-Qonductor
+        # cycle counts (Fig. 8/9) compare like for like.
+        metrics.scheduling_cycles += 1
         for job, qpu_name in assignments:
-            metrics.scheduling_cycles += 1
             if qpu_name is None:
                 self._fail(job, metrics, apps_by_job)
                 continue
@@ -319,10 +377,13 @@ class CloudSimulator:
         apps_by_job: dict[int, HybridApplication] = {}
         horizon = cfg.duration_seconds
 
-        # Running completion aggregates (fed by COMPLETION events) make
-        # each sample O(backends) instead of O(arrived apps).
-        done_fidelities: list[float] = []
-        done_jcts: list[float] = []
+        # Running completion aggregates (fed by COMPLETION events): plain
+        # sums/counts, so each sample is O(backends) time and the
+        # aggregate state is O(1) memory however many jobs complete.
+        done_fid_sum = 0.0
+        done_fid_count = 0
+        done_jct_sum = 0.0
+        done_jct_count = 0
 
         seq = itertools.count()
         heap: list[tuple[float, int, int, object]] = []
@@ -331,9 +392,14 @@ class CloudSimulator:
             heapq.heappush(heap, (t, int(kind), next(seq), payload))
 
         def sample(t: float) -> None:
-            if done_jcts:
-                metrics.mean_fidelity.add(t, float(np.mean(done_fidelities)))
-                metrics.mean_completion_time.add(t, float(np.mean(done_jcts)))
+            if done_jct_count:
+                if done_fid_count:
+                    metrics.mean_fidelity.add(
+                        t, done_fid_sum / done_fid_count
+                    )
+                metrics.mean_completion_time.add(
+                    t, done_jct_sum / done_jct_count
+                )
             busy = [
                 max(0.0, b.busy_seconds - max(0.0, b.free_at - t))
                 for shard in self.shards
@@ -352,12 +418,32 @@ class CloudSimulator:
                     ).add(t, len(shard.pending))
 
         def complete(app: HybridApplication) -> None:
+            nonlocal done_fid_sum, done_fid_count, done_jct_sum, done_jct_count
             if app.quantum_job.fidelity is not None:
-                done_fidelities.append(app.quantum_job.fidelity)
-            done_jcts.append(app.completion_time)
+                done_fid_sum += app.quantum_job.fidelity
+                done_fid_count += 1
+            done_jct_sum += app.completion_time
+            done_jct_count += 1
+            metrics.completed_jobs += 1
 
         def on_finish(app: HybridApplication) -> None:
             push(app.finish_time, EventType.COMPLETION, app)
+
+        def fire_if_ready(shard: FleetShard, now: float) -> None:
+            """Run a batch cycle when the shard's trigger condition is
+            met (shared by the arrival and rebalance paths; the TRIGGER
+            deadline handler has its own flow — it always marks the
+            trigger fired, even on an empty queue)."""
+            if shard.trigger.should_fire(len(shard.pending), now):
+                self._schedule_batch(
+                    shard, now, metrics, apps_by_job, on_finish
+                )
+                shard.trigger.fired(now)
+                push(
+                    shard.trigger.next_deadline(now),
+                    EventType.TRIGGER,
+                    shard.shard_id,
+                )
 
         first = next(stream, None)
         if first is not None:
@@ -373,6 +459,20 @@ class CloudSimulator:
                     EventType.TRIGGER,
                     shard.shard_id,
                 )
+        qpu_by_name: dict[str, QPU] = {
+            b.name: b.qpu for shard in self.shards for b in shard.backends
+        }
+        offline_since: dict[str, float] = {}
+        if self.availability is not None:
+            for ev in self.availability.schedule(list(qpu_by_name), horizon):
+                if ev.time < horizon:
+                    push(ev.time, EventType.AVAILABILITY, ev)
+        if (
+            self.rebalancer is not None
+            and len(self.shards) > 1
+            and self.rebalancer.interval_seconds < horizon
+        ):
+            push(self.rebalancer.interval_seconds, EventType.REBALANCE)
 
         while heap and heap[0][0] < horizon:
             now, kind, _, payload = heapq.heappop(heap)
@@ -380,6 +480,38 @@ class CloudSimulator:
 
             if kind == EventType.COMPLETION:
                 complete(payload)
+
+            elif kind == EventType.AVAILABILITY:
+                qpu = qpu_by_name[payload.qpu_name]
+                if payload.online and not qpu.online:
+                    metrics.recovery_events += 1
+                    went_down = offline_since.pop(payload.qpu_name, now)
+                    metrics.qpu_downtime_seconds[payload.qpu_name] = (
+                        metrics.qpu_downtime_seconds.get(payload.qpu_name, 0.0)
+                        + (now - went_down)
+                    )
+                elif not payload.online and qpu.online:
+                    metrics.outage_events += 1
+                    offline_since[payload.qpu_name] = now
+                qpu.online = payload.online
+
+            elif kind == EventType.REBALANCE:
+                moves = self.rebalancer.rebalance(self.shards, now)
+                metrics.rebalance_cycles += 1
+                metrics.jobs_migrated += len(moves)
+                # A shard that just received work may be past its trigger
+                # condition; fire it now instead of waiting for the next
+                # deadline (mirrors the arrival path).
+                receivers = sorted(
+                    {m.dst for m in moves}, key=lambda s: s.shard_id
+                )
+                for shard in receivers:
+                    if shard.is_batched:
+                        fire_if_ready(shard, now)
+                push(
+                    now + self.rebalancer.interval_seconds,
+                    EventType.REBALANCE,
+                )
 
             elif kind == EventType.RECALIBRATION:
                 self._recalibrate(now)
@@ -404,16 +536,7 @@ class CloudSimulator:
                 shard.jobs_routed += 1
                 if shard.is_batched:
                     shard.pending.append(job)
-                    if shard.trigger.should_fire(len(shard.pending), now):
-                        self._schedule_batch(
-                            shard, now, metrics, apps_by_job, on_finish
-                        )
-                        shard.trigger.fired(now)
-                        push(
-                            shard.trigger.next_deadline(now),
-                            EventType.TRIGGER,
-                            shard.shard_id,
-                        )
+                    fire_if_ready(shard, now)
                 else:
                     self._schedule_immediate(
                         shard, [job], now, metrics, apps_by_job, on_finish
@@ -447,8 +570,24 @@ class CloudSimulator:
                 metrics.events_processed += 1
                 complete(payload)
         sample(horizon)
+        # Devices still down at the horizon accrue downtime to the end.
+        for name, went_down in offline_since.items():
+            metrics.qpu_downtime_seconds[name] = (
+                metrics.qpu_downtime_seconds.get(name, 0.0)
+                + (horizon - went_down)
+            )
+        # Jobs still pending (held through an outage outliving the run)
+        # are reported rather than silently dropped from the counters.
+        metrics.pending_at_horizon = sum(
+            len(shard.pending) for shard in self.shards
+        )
         for shard in self.shards:
             metrics.per_shard_jobs[shard.shard_id] = shard.jobs_routed
+            if self.rebalancer is not None:
+                metrics.per_shard_steals[shard.shard_id] = {
+                    "in": shard.jobs_stolen_in,
+                    "out": shard.jobs_stolen_out,
+                }
             for b in shard.backends:
                 metrics.per_qpu_busy_seconds[b.name] = b.busy_seconds
                 metrics.per_qpu_jobs[b.name] = b.jobs_executed

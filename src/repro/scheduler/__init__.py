@@ -9,7 +9,12 @@ from .calibration_crossover import (
 )
 from .classical import ClassicalNode, ClassicalRequest, ClassicalScheduler
 from .formulation import SchedulingInput, SchedulingProblem
-from .policies import FCFSPolicy, LeastBusyPolicy, RandomPolicy
+from .policies import (
+    BatchedFCFSPolicy,
+    FCFSPolicy,
+    LeastBusyPolicy,
+    RandomPolicy,
+)
 from .quantum import QonductorScheduler, QuantumSchedule, ScheduleDecision
 from .reservations import Reservation, ReservationManager
 from .triggers import SchedulingTrigger
@@ -24,6 +29,7 @@ __all__ = [
     "ClassicalRequest",
     "ClassicalScheduler",
     "FCFSPolicy",
+    "BatchedFCFSPolicy",
     "LeastBusyPolicy",
     "RandomPolicy",
     "SchedulingTrigger",

@@ -3,6 +3,11 @@
 * :class:`FCFSPolicy` — the paper's baseline: jobs are served strictly in
   arrival order and each picks the **highest-fidelity** QPU that fits
   (standard current practice, which is what creates hotspots, §3).
+* :class:`BatchedFCFSPolicy` — the same decision rule driven by the
+  scheduling trigger: jobs accumulate in the shard's pending queue and
+  one cycle assigns the whole batch.  Because it queues (rather than
+  dispatching on arrival), it is the cheap batched policy work-stealing
+  rebalancers can act on at fleet scale.
 * :class:`LeastBusyPolicy` — IBM's ``least_busy`` selector [15].
 * :class:`RandomPolicy` — load-oblivious control.
 
@@ -14,13 +19,21 @@ in one vectorized pass; per-pair calls remain the fallback.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..backends.qpu import QPU
 from ..cloud.job import QuantumJob, feasibility_matrix
 
-__all__ = ["FCFSPolicy", "LeastBusyPolicy", "RandomPolicy"]
+__all__ = [
+    "FCFSPolicy",
+    "BatchedFCFSPolicy",
+    "BatchDecision",
+    "BatchSchedule",
+    "LeastBusyPolicy",
+    "RandomPolicy",
+]
 
 EstimateFn = Callable[[QuantumJob, QPU], tuple[float, float]]
 
@@ -78,6 +91,61 @@ class FCFSPolicy:
             (job, qpus[best[i]].name if feas[i].any() else None)
             for i, job in enumerate(jobs)
         ]
+
+
+@dataclass
+class BatchDecision:
+    """One job's assignment out of a batched baseline cycle."""
+
+    job: QuantumJob
+    qpu_name: str
+
+
+@dataclass
+class BatchSchedule:
+    """Output of one :class:`BatchedFCFSPolicy` cycle.
+
+    The structural subset of
+    :class:`~repro.scheduler.quantum.QuantumSchedule` the cloud
+    simulator's batched path consumes: ``decisions`` + ``unschedulable``.
+    """
+
+    decisions: list[BatchDecision]
+    unschedulable: list[QuantumJob]
+
+
+class BatchedFCFSPolicy(FCFSPolicy):
+    """Trigger-driven FCFS: queue arrivals, assign the batch per cycle.
+
+    Exposing ``schedule`` (instead of only ``assign``) makes the owning
+    :class:`~repro.cloud.fleet.FleetShard` batched: arrivals wait in the
+    shard's pending queue until the trigger fires, which is what gives a
+    :class:`~repro.cloud.fleet.RebalancePolicy` a window to migrate them.
+    The per-job decision rule is exactly FCFS (highest-fidelity feasible
+    online QPU, arrival order preserved), so it remains a *baseline* —
+    just one that can be driven at fleet scale without NSGA-II cost.
+    """
+
+    name = "fcfs_batched"
+
+    def spawn(self, shard_id: int) -> "BatchedFCFSPolicy":
+        """A per-shard instance sharing this policy's estimate source."""
+        return BatchedFCFSPolicy(self.estimate_fn)
+
+    def schedule(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        waiting_seconds: dict[str, float] | None = None,
+    ) -> BatchSchedule:
+        decisions: list[BatchDecision] = []
+        unschedulable: list[QuantumJob] = []
+        for job, qpu_name in self.assign(jobs, qpus, waiting_seconds or {}):
+            if qpu_name is None:
+                unschedulable.append(job)
+            else:
+                decisions.append(BatchDecision(job=job, qpu_name=qpu_name))
+        return BatchSchedule(decisions=decisions, unschedulable=unschedulable)
 
 
 class LeastBusyPolicy:

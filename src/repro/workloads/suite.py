@@ -117,6 +117,11 @@ class WorkloadSampler:
         shots_choices: tuple[int, ...] | None = None,
         seed: int | None = None,
     ) -> None:
+        if min_qubits > max_qubits:
+            raise ValueError(
+                f"min_qubits ({min_qubits}) must be <= "
+                f"max_qubits ({max_qubits})"
+            )
         self.mean_qubits = mean_qubits
         self.std_qubits = std_qubits
         self.min_qubits = min_qubits
@@ -128,11 +133,32 @@ class WorkloadSampler:
         if shots_choices is not None and len(shots_choices) == 0:
             raise ValueError("shots_choices must be non-empty when given")
         self.shots_choices = shots_choices
-        self.benchmarks = benchmarks or [
+        requested = benchmarks or [
             n
             for n in benchmark_names()
             if n not in ("grover", "amplitude_estimation")
         ]
+        # A benchmark whose own width range misses [min_qubits,
+        # max_qubits] would silently clamp every draw outside the
+        # documented bounds (e.g. grover caps at 8 qubits: min_qubits=10
+        # would yield 8-qubit jobs).  Explicitly requested benchmarks
+        # fail loudly; the default catalog is filtered.
+        def _compatible(name: str) -> bool:
+            _, blo, bhi = BENCHMARKS[name]
+            return blo <= self.max_qubits and bhi >= self.min_qubits
+
+        incompatible = [n for n in requested if not _compatible(n)]
+        if incompatible and benchmarks:
+            raise ValueError(
+                f"benchmarks {incompatible} cannot produce widths in "
+                f"[{self.min_qubits}, {self.max_qubits}]"
+            )
+        self.benchmarks = [n for n in requested if _compatible(n)]
+        if not self.benchmarks:
+            raise ValueError(
+                f"no benchmark can produce widths in "
+                f"[{self.min_qubits}, {self.max_qubits}]"
+            )
         self._rng = np.random.default_rng(seed)
         self._counter = 0
 

@@ -198,6 +198,30 @@ class TestLoadGenerator:
         assert times == sorted(times)
         assert all(0 <= t < 1800.0 for t in times)
 
+    def test_min_qubits_clamps_and_validates(self):
+        gen = LoadGenerator(
+            mean_rate_per_hour=600,
+            mean_qubits=12,
+            std_qubits=2,
+            min_qubits=8,
+            max_qubits=16,
+            seed=3,
+        )
+        apps = gen.generate(600.0)
+        assert apps
+        widths = [a.quantum_job.num_qubits for a in apps]
+        assert min(widths) >= 8 and max(widths) <= 16
+        # An inverted range must fail loudly, not collapse every draw
+        # to max_qubits.
+        with pytest.raises(ValueError):
+            LoadGenerator(min_qubits=20, max_qubits=16).generate(60.0)
+        # Same for a benchmark whose own width cap sits below
+        # min_qubits (grover tops out at 8 qubits).
+        with pytest.raises(ValueError):
+            LoadGenerator(
+                min_qubits=10, max_qubits=16, benchmarks=("grover",)
+            ).generate(60.0)
+
     def test_mitigation_fraction(self):
         gen = LoadGenerator(mean_rate_per_hour=600, mitigation_fraction=1.0, seed=3)
         apps = gen.generate(600.0)
@@ -237,11 +261,14 @@ class TestCloudSimulator:
         )
         return sim.run(apps)
 
-    def test_fcfs_completes_all_jobs(self):
+    def test_fcfs_dispatches_all_jobs(self):
         gen = LoadGenerator(mean_rate_per_hour=300, max_qubits=27, seed=4)
         apps = gen.generate(600.0)
         metrics = self._run(FCFSPolicy(_fake_estimate), apps)
-        assert metrics.completed_jobs == len(apps)
+        assert metrics.dispatched_jobs == len(apps)
+        # Completion is counted when the COMPLETION event folds inside
+        # the horizon; late finishers stay dispatched-only.
+        assert 0 < metrics.completed_jobs <= metrics.dispatched_jobs
         assert metrics.mean_fidelity.mean() > 0
 
     def test_qonductor_batches_and_completes(self):
@@ -249,7 +276,8 @@ class TestCloudSimulator:
         apps = gen.generate(600.0)
         policy = QonductorScheduler(_fake_estimate, seed=1, max_generations=8)
         metrics = self._run(policy, apps)
-        assert metrics.completed_jobs == len(apps)
+        assert metrics.dispatched_jobs == len(apps)
+        assert metrics.completed_jobs <= metrics.dispatched_jobs
         assert metrics.scheduling_cycles >= 1
         assert metrics.scheduling_cycles < len(apps)  # batched, not per-job
 

@@ -79,6 +79,64 @@ class TestEventCore:
         )
         assert m.mean_completion_time.last() == pytest.approx(expect_jct)
         assert m.mean_fidelity.last() == pytest.approx(expect_fid)
+        # Every intermediate sample must equal the prefix rescan too —
+        # this is what pins the aggregates to *running* sums/counts: a
+        # wrong-window or stale implementation matches the final value
+        # by luck far more easily than every point of the series.
+        times, values = m.mean_completion_time.as_arrays()
+        assert len(times) >= 3
+        for t, v in zip(times, values):
+            prefix = [
+                a.completion_time
+                for a in apps
+                if a.finish_time is not None and a.finish_time <= t
+            ]
+            assert v == pytest.approx(float(np.mean(prefix)))
+
+    def test_completed_counts_only_in_horizon_finishers(self):
+        """Regression: jobs were counted completed at *dispatch*, so a
+        job finishing past the horizon still inflated ``completed_jobs``.
+        Completion now means the COMPLETION event folded inside the run;
+        everything handed to a device is ``dispatched_jobs``."""
+        duration = 900.0
+        apps, m = _run(lambda: FCFSPolicy(_fake_estimate), duration=duration)
+        in_horizon = [
+            a
+            for a in apps
+            if a.finish_time is not None and a.finish_time <= duration
+        ]
+        assert m.completed_jobs == len(in_horizon)
+        assert m.dispatched_jobs + m.unschedulable_jobs == len(apps)
+        # The scenario is loaded enough that some dispatched work drains
+        # after the horizon — the two counters must actually differ.
+        assert m.completed_jobs < m.dispatched_jobs
+        assert m.summary()["dispatched_jobs"] == m.dispatched_jobs
+
+    def test_immediate_path_counts_cycles_per_call(self):
+        """Regression: the per-arrival path charged one scheduling cycle
+        *per job* while the batched path charges one per cycle, skewing
+        baseline-vs-Qonductor cycle comparisons (Fig. 8/9).  One
+        ``assign`` call over a batch is one cycle."""
+        from repro.cloud import SimulationMetrics
+        from repro.workloads import ghz_linear as _ghz
+
+        fleet = default_fleet(seed=7, names=["auckland", "lagos"])
+        sim = CloudSimulator(
+            fleet,
+            FCFSPolicy(_fake_estimate),
+            ExecutionModel(seed=5),
+            config=SimulationConfig(duration_seconds=600.0, seed=5),
+        )
+        m = SimulationMetrics()
+        jobs = [
+            QuantumJob.from_circuit(_ghz(4), keep_circuit=False)
+            for _ in range(3)
+        ]
+        sim._schedule_immediate(
+            sim.shards[0], jobs, 0.0, m, {}, lambda app: None
+        )
+        assert m.scheduling_cycles == 1
+        assert m.dispatched_jobs == 3
 
     def test_event_counts(self):
         apps, m = _run(lambda: FCFSPolicy(_fake_estimate))

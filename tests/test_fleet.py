@@ -23,11 +23,19 @@ from repro.cloud import (
     RoundRobinBalancer,
     SimulatedQPU,
     SimulationConfig,
+    StealHalfRebalancePolicy,
+    ThresholdRebalancePolicy,
     make_balancer,
+    make_rebalancer,
     partition_fleet,
 )
 from repro.experiments.common import trained_estimator
-from repro.scheduler import FCFSPolicy, QonductorScheduler, SchedulingTrigger
+from repro.scheduler import (
+    BatchedFCFSPolicy,
+    FCFSPolicy,
+    QonductorScheduler,
+    SchedulingTrigger,
+)
 from repro.workloads import ghz_linear
 
 SERIES = (
@@ -183,6 +191,7 @@ class TestShardedEquivalence:
             bt, bv = getattr(b, attr).as_arrays()
             assert np.array_equal(at, bt) and np.array_equal(av, bv)
         assert a.completed_jobs == b.completed_jobs
+        assert a.dispatched_jobs == b.dispatched_jobs
         assert a.events_processed == b.events_processed
         assert a.scheduling_cycles == b.scheduling_cycles
         assert a.per_qpu_busy_seconds == b.per_qpu_busy_seconds
@@ -227,7 +236,8 @@ class TestShardedEquivalence:
         )
         m = sim.run(apps)
         assert m.num_shards == 2
-        assert m.completed_jobs == len(apps)
+        assert m.dispatched_jobs == len(apps)
+        assert m.completed_jobs <= m.dispatched_jobs
         assert sum(m.per_shard_jobs.values()) == len(apps)
         assert all(v > 0 for v in m.per_shard_jobs.values())
         assert set(m.shard_queue_size) == {0, 1}
@@ -259,11 +269,296 @@ class TestShardedEquivalence:
             ),
         )
         m = sim.run(apps)
-        assert m.completed_jobs + m.unschedulable_jobs == len(apps)
+        assert m.dispatched_jobs + m.unschedulable_jobs == len(apps)
         assert m.scheduling_cycles >= 2
         # Shared cache across shards: merged counters are reported once.
         assert m.estimate_cache["hits"] + m.estimate_cache["misses"] > 0
         assert cached.stats.invalidations == 1  # one fleet-wide recal
+
+
+class TestRebalancePolicies:
+    """Unit tests over the work-stealing strategies (no simulator)."""
+
+    def _batched_shards(self, widths_per_shard):
+        return _shards(
+            widths_per_shard, policy=BatchedFCFSPolicy(_fake_estimate)
+        )
+
+    def test_make_rebalancer(self):
+        assert isinstance(
+            make_rebalancer("threshold"), ThresholdRebalancePolicy
+        )
+        assert isinstance(
+            make_rebalancer("steal_half"), StealHalfRebalancePolicy
+        )
+        policy = ThresholdRebalancePolicy(min_gap=8)
+        assert make_rebalancer(policy) is policy
+        with pytest.raises(KeyError):
+            make_rebalancer("bogus")
+        with pytest.raises(ValueError):
+            ThresholdRebalancePolicy(min_gap=1)
+        with pytest.raises(ValueError):
+            StealHalfRebalancePolicy(interval_seconds=0.0)
+
+    def test_threshold_drains_gap(self):
+        shards = self._batched_shards([["auckland"], ["hanoi"]])
+        jobs = [_job(5) for _ in range(10)]
+        shards[0].pending = list(jobs)
+        moves = ThresholdRebalancePolicy(min_gap=4).rebalance(shards, 0.0)
+        # 10/0 -> ... -> 6/4: the gap drains until it drops below 4.
+        assert len(moves) == 4
+        assert shards[0].pending == jobs[:6]
+        # Migrated newest-first, but delivered in arrival order so the
+        # receiving FCFS batch serves them as they arrived.
+        assert shards[1].pending == jobs[6:]
+        assert shards[0].jobs_stolen_out == 4
+        assert shards[1].jobs_stolen_in == 4
+        assert all(m.src is shards[0] and m.dst is shards[1] for m in moves)
+
+    def test_threshold_respects_feasibility(self):
+        # lagos/nairobi are 7q: 16q pending jobs must not migrate there.
+        shards = self._batched_shards([["auckland"], ["lagos"]])
+        shards[0].pending = [_job(16) for _ in range(10)]
+        assert ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0) == []
+        # Mixed queue: only the narrow jobs move.
+        shards[0].pending = [_job(16), _job(5), _job(16), _job(5), _job(16)]
+        moves = ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0)
+        assert all(m.job.num_qubits == 5 for m in moves)
+        assert all(j.num_qubits == 16 for j in shards[0].pending)
+
+    def test_threshold_stuck_deepest_does_not_stall_fleet(self):
+        """A deepest queue whose jobs fit nowhere else (e.g. a stranded
+        wide backlog) must not block draining the other shards' gaps."""
+        shards = self._batched_shards(
+            [["auckland"], ["guadalupe"], ["lagos"]]  # 27q / 16q / 7q
+        )
+        shards[0].pending = [_job(20) for _ in range(12)]  # fits only 27q
+        narrow = [_job(5) for _ in range(8)]
+        shards[1].pending = list(narrow)
+        moves = ThresholdRebalancePolicy(min_gap=4).rebalance(shards, 0.0)
+        assert moves, "the feasible 16q->7q gap must still drain"
+        assert all(m.src is shards[1] and m.dst is shards[2] for m in moves)
+        assert len(shards[0].pending) == 12  # stuck backlog untouched
+        # 8/0 drains one job at a time until the gap drops below 4.
+        assert len(shards[1].pending) == 5 and len(shards[2].pending) == 3
+
+    def test_threshold_never_ping_pongs_within_a_cycle(self):
+        """A receiver that becomes the deepest queue must not bounce a
+        just-migrated job back: each job moves at most once per cycle."""
+        shards = self._batched_shards(
+            [["auckland"], ["hanoi"], ["guadalupe"]]  # 27q / 27q / 16q
+        )
+        # Four narrow jobs (fit anywhere) then four wide ones (27q only).
+        jobs = [_job(10) for _ in range(4)] + [_job(20) for _ in range(4)]
+        shards[0].pending = list(jobs)
+        moves = ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0)
+        assert all(m.src is shards[0] for m in moves)
+        moved_ids = [m.job.job_id for m in moves]
+        assert len(moved_ids) == len(set(moved_ids)) == 6
+        assert shards[0].jobs_stolen_in == 0
+        assert [len(s.pending) for s in shards] == [2, 4, 2]
+        # The wide backlog parked on shard 1 stays put; the migrated
+        # tails are in arrival order on both receivers.
+        assert shards[1].pending == jobs[4:]
+        assert shards[2].pending == [jobs[2], jobs[3]]
+
+    def test_threshold_skips_offline_destination(self):
+        shards = self._batched_shards([["auckland"], ["hanoi"]])
+        shards[0].pending = [_job(5) for _ in range(10)]
+        shards[1].backends[0].qpu.online = False
+        assert ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0) == []
+
+    def test_steal_half_takes_newest_in_arrival_order(self):
+        shards = self._batched_shards([["auckland"], ["hanoi"]])
+        victim_jobs = [_job(5) for _ in range(9)]
+        shards[0].pending = list(victim_jobs)
+        moves = StealHalfRebalancePolicy(min_victim_depth=4).rebalance(
+            shards, 0.0
+        )
+        assert len(moves) == 4  # half of 9, rounded down
+        # The thief got the newest four, still in arrival order.
+        assert shards[1].pending == victim_jobs[5:]
+        assert shards[0].pending == victim_jobs[:5]
+
+    def test_steal_half_never_resteals_within_a_cycle(self):
+        """A shard that received steals this cycle is not a victim for a
+        later thief — each job moves at most once per tick, and every
+        move drains the genuinely overloaded shard."""
+        shards = self._batched_shards([["auckland"], ["hanoi"], ["cairo"]])
+        shards[2].pending = [_job(5) for _ in range(10)]
+        moves = StealHalfRebalancePolicy(min_victim_depth=4).rebalance(
+            shards, 0.0
+        )
+        assert all(m.src is shards[2] for m in moves)
+        assert shards[0].jobs_stolen_out == 0
+        assert shards[1].jobs_stolen_out == 0
+        assert shards[2].jobs_stolen_out == len(moves) == 7
+        assert [len(s.pending) for s in shards] == [5, 2, 3]
+
+    def test_steal_half_skips_infeasible_deepest_victim(self):
+        """A narrow idle thief must not lock onto a deeper all-wide
+        queue and steal nothing while a feasible backlog waits."""
+        shards = self._batched_shards(
+            [["lagos"], ["auckland"], ["hanoi"]]  # 7q / 27q / 27q
+        )
+        shards[1].pending = [_job(20) for _ in range(10)]  # infeasible
+        shards[2].pending = [_job(5) for _ in range(8)]  # feasible
+        moves = StealHalfRebalancePolicy(min_victim_depth=4).rebalance(
+            shards, 0.0
+        )
+        assert moves and all(m.src is shards[2] for m in moves)
+        assert len(shards[0].pending) == 4
+        assert len(shards[1].pending) == 10
+
+    def test_steal_half_ignores_busy_thieves_and_shallow_victims(self):
+        shards = self._batched_shards([["auckland"], ["hanoi"]])
+        shards[0].pending = [_job(5) for _ in range(3)]
+        policy = StealHalfRebalancePolicy(min_victim_depth=4)
+        assert policy.rebalance(shards, 0.0) == []
+        shards[1].pending = [_job(5)]  # thief not idle
+        shards[0].pending = [_job(5) for _ in range(8)]
+        assert policy.rebalance(shards, 0.0) == []
+
+    def test_single_shard_noop(self):
+        shards = self._batched_shards([["auckland"]])
+        shards[0].pending = [_job(5) for _ in range(10)]
+        for policy in (
+            ThresholdRebalancePolicy(),
+            StealHalfRebalancePolicy(),
+        ):
+            assert policy.rebalance(shards, 0.0) == []
+        assert len(shards[0].pending) == 10
+
+
+class TestRebalancingRuns:
+    """Simulator-level work stealing: determinism, identity, effect."""
+
+    NAMES = ["auckland", "hanoi", "guadalupe", "lagos"]  # 27/27/16/7
+
+    def _skewed_shards(self):
+        """Shard 0 = {guadalupe 16q, lagos 7q}, shard 1 = {auckland,
+        hanoi, both 27q}: an 8-16q stream qubit-fits entirely onto shard
+        0 while the wide shard idles — the work-stealing stress shape."""
+        by_name = {q.name: q for q in default_fleet(seed=7, names=self.NAMES)}
+        policy = BatchedFCFSPolicy(_fake_estimate)
+        groups = [["guadalupe", "lagos"], ["auckland", "hanoi"]]
+        return [
+            FleetShard(
+                i,
+                [SimulatedQPU(by_name[n]) for n in names],
+                policy.spawn(i),
+                SchedulingTrigger(queue_limit=10_000, interval_seconds=120),
+            )
+            for i, names in enumerate(groups)
+        ]
+
+    def _run(self, *, rebalance=None, availability=None, duration=1200.0):
+        gen = LoadGenerator(
+            mean_rate_per_hour=900,
+            mean_qubits=12,
+            std_qubits=2,
+            min_qubits=8,
+            max_qubits=16,
+            seed=4,
+        )
+        sim = CloudSimulator(
+            execution_model=ExecutionModel(seed=5),
+            config=SimulationConfig(duration_seconds=duration, seed=5),
+            shards=self._skewed_shards(),
+            balancer="qubit_fit",
+            rebalance=rebalance,
+            availability=availability,
+        )
+        return sim.run(gen.generate(duration))
+
+    def _assert_identical(self, a, b):
+        for attr in SERIES:
+            at, av = getattr(a, attr).as_arrays()
+            bt, bv = getattr(b, attr).as_arrays()
+            assert np.array_equal(at, bt) and np.array_equal(av, bv)
+        assert a.events_processed == b.events_processed
+        assert a.dispatched_jobs == b.dispatched_jobs
+        assert a.per_qpu_busy_seconds == b.per_qpu_busy_seconds
+        assert a.per_qpu_jobs == b.per_qpu_jobs
+
+    def test_rebalanced_runs_deterministic(self):
+        a = self._run(rebalance="threshold")
+        b = self._run(rebalance="threshold")
+        self._assert_identical(a, b)
+        assert a.jobs_migrated == b.jobs_migrated
+        assert a.per_shard_steals == b.per_shard_steals
+
+    def test_disabled_rebalancing_identical_to_none(self):
+        """A rebalancer that never fires (interval past the horizon) is
+        bit-identical to rebalance=None — the off switch adds nothing."""
+        a = self._run(rebalance=None)
+        b = self._run(
+            rebalance=ThresholdRebalancePolicy(interval_seconds=1e9)
+        )
+        self._assert_identical(a, b)
+        assert b.rebalance_cycles == 0 and b.jobs_migrated == 0
+
+    def test_one_shard_run_ignores_rebalancer(self):
+        """Single-shard fleets never rebalance, whatever is configured."""
+        gen = LoadGenerator(mean_rate_per_hour=600, max_qubits=27, seed=4)
+
+        def run(rebalance):
+            sim = CloudSimulator.sharded(
+                fleet_of_size(2, seed=7),
+                BatchedFCFSPolicy(_fake_estimate),
+                num_shards=1,
+                execution_model=ExecutionModel(seed=5),
+                config=SimulationConfig(duration_seconds=900.0, seed=5),
+                rebalance=rebalance,
+            )
+            return sim.run(gen.generate(900.0))
+
+        a = run(None)
+        b = run(ThresholdRebalancePolicy(interval_seconds=30.0))
+        self._assert_identical(a, b)
+        assert b.rebalance_cycles == 0
+
+    def test_work_stealing_spreads_skewed_load(self):
+        """Qubit-fit routing under a 8-16q stream starves the wide shard;
+        stealing puts it to work and cuts the busy-seconds imbalance."""
+        static = self._run()
+        steal = self._run(
+            rebalance=ThresholdRebalancePolicy(
+                min_gap=2, interval_seconds=30.0
+            )
+        )
+        assert steal.jobs_migrated > 0
+        assert steal.rebalance_cycles > 0
+        total_in = sum(v["in"] for v in steal.per_shard_steals.values())
+        total_out = sum(v["out"] for v in steal.per_shard_steals.values())
+        assert total_in == total_out == steal.jobs_migrated
+        assert (
+            steal.dispatched_jobs + steal.unschedulable_jobs
+            == static.dispatched_jobs + static.unschedulable_jobs
+        )
+        assert (
+            steal.summary()["load_cv"] < static.summary()["load_cv"]
+        )
+
+    def test_outage_recovery_event_ordering_with_stealing(self):
+        """A flash outage on the mid shard's QPU mid-run: counters fold
+        in order and stolen jobs land on still-online devices."""
+        from repro.cloud import flash_outage
+
+        availability = flash_outage(
+            ["guadalupe"], start=300.0, duration_seconds=400.0
+        )
+        m = self._run(
+            rebalance=ThresholdRebalancePolicy(
+                min_gap=2, interval_seconds=30.0
+            ),
+            availability=availability,
+        )
+        assert m.outage_events == 1 and m.recovery_events == 1
+        assert m.qpu_downtime_seconds["guadalupe"] == pytest.approx(400.0)
+        assert m.jobs_migrated > 0
+        # Work kept flowing to the wide shard while guadalupe was dark.
+        assert m.per_qpu_jobs["auckland"] + m.per_qpu_jobs["hanoi"] > 0
 
 
 class TestStreaming:
@@ -314,7 +609,7 @@ class TestStreaming:
         m = sim.run(gen.iter_arrivals(1800.0))
         # FCFS dispatches on arrival: at most the one arriving app is in
         # flight, regardless of how many the stream carries.
-        assert m.completed_jobs + m.unschedulable_jobs > 100
+        assert m.dispatched_jobs + m.unschedulable_jobs > 100
         assert m.peak_inflight_apps == 1
 
     def test_circuit_pool_bounds_distinct_shapes(self):
