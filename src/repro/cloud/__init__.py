@@ -8,6 +8,13 @@ from .availability import (
     flash_outage,
 )
 from .backend_sim import SimulatedQPU
+from .cycle_executor import (
+    CycleExecutor,
+    ProcessCycleExecutor,
+    SerialCycleExecutor,
+    ThreadCycleExecutor,
+    make_cycle_executor,
+)
 from .execution import MITIGATION_EFFECTS, ExecutionModel, ExecutionRecord
 from .fleet import (
     FleetShard,
@@ -41,6 +48,11 @@ __all__ = [
     "ExecutionModel",
     "ExecutionRecord",
     "SimulatedQPU",
+    "CycleExecutor",
+    "SerialCycleExecutor",
+    "ThreadCycleExecutor",
+    "ProcessCycleExecutor",
+    "make_cycle_executor",
     "FleetShard",
     "ShardBalancer",
     "RoundRobinBalancer",

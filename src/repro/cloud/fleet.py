@@ -344,6 +344,24 @@ class ThresholdRebalancePolicy(RebalancePolicy):
         # shard's online width once instead of re-deriving it via
         # fits() for every (job, destination) pair in the scan.
         width = {s.shard_id: s.max_qubits for s in shards}
+        # Resumable tail scans, one batch per (source, width-cap) epoch.
+        # Restarting the newest-first scan from the tail after every
+        # single move made a deep-backlog tick O(moves x queue).  A job
+        # is skipped exactly when it is wider than every eligible
+        # destination, i.e. when ``job.num_qubits > cap`` where ``cap``
+        # is the widest eligible destination — and while a source keeps
+        # draining, its gaps only shrink, so ``cap`` never grows and a
+        # skipped job stays skipped.  Each source therefore remembers
+        # where its last scan stopped (``scan_pos``) and the cap it
+        # scanned under (``scan_cap``); the scan resumes in place unless
+        # the cap *grew* since (a wider destination became eligible —
+        # only possible after other sources moved work around), which
+        # resets it.  Decisions are identical to the restart-scan
+        # algorithm (regression-tested against a reference
+        # implementation in ``tests/test_fleet.py``); the cost drops to
+        # one queue pass per cap epoch plus O(shards^2) per move.
+        scan_pos: dict[int, int] = {}
+        scan_cap: dict[int, int] = {}
         while True:
             moved = False
             # Deepest queue first, but a stuck source (its jobs fit no
@@ -365,25 +383,37 @@ class ThresholdRebalancePolicy(RebalancePolicy):
                 ]
                 if not eligible:
                     continue
-                for i in range(len(src.pending) - 1, -1, -1):
+                cap = max(width[s.shard_id] for s in eligible)
+                sid = src.shard_id
+                if sid not in scan_cap or cap > scan_cap[sid]:
+                    # First scan, or a wider destination became eligible:
+                    # previously skipped jobs may fit now — rescan from
+                    # the tail (just-received jobs up there are skipped
+                    # in O(1) each via ``moved_ids``).
+                    scan_pos[sid] = len(src.pending) - 1
+                scan_cap[sid] = cap
+                for i in range(scan_pos[sid], -1, -1):
                     job = src.pending[i]
                     if job.job_id in moved_ids:
+                        continue
+                    if job.num_qubits > cap:
                         continue
                     dsts = [
                         s
                         for s in eligible
                         if job.num_qubits <= width[s.shard_id]
                     ]
-                    if not dsts:
-                        continue
                     dst = min(
                         dsts, key=lambda s: (len(s.pending), s.shard_id)
                     )
                     moved_ids.add(job.job_id)
                     moves.append(self._move(src, i, dst))
                     received[dst] = received.get(dst, 0) + 1
+                    scan_pos[sid] = i - 1
                     moved = True
                     break
+                else:
+                    scan_pos[sid] = -1  # queue exhausted under this cap
                 if moved:
                     break
             if not moved:

@@ -12,6 +12,19 @@ applications lazily in time order, so the simulator pulls the next arrival
 on demand and a 100k+ job run never materializes the full arrival list.
 :meth:`LoadGenerator.generate` is the eager view of the same stream (same
 seeds, bit-identical applications).
+
+Two arrival processes are available.  ``"poisson"`` (the default) is the
+paper's model: exponential inter-arrivals at the (possibly diurnal)
+nominal rate.  ``"mmpp"`` is a Markov-modulated Poisson process for
+bursty / flash-crowd studies: a two-state continuous-time Markov chain
+alternates between a *calm* state at the nominal rate and a *burst*
+state at ``burst_rate_multiplier`` times it, with exponentially
+distributed state holding times (``mean_calm_seconds`` /
+``mean_burst_seconds``).  The mean rate stays close to nominal while
+arrivals clump — the worst case for shard balancers and the scenario the
+parallel scheduling engine is benchmarked under.  Both processes are
+fully seeded and the default path draws exactly the random stream it
+always did, so existing seeded scenarios are bit-identical.
 """
 
 from __future__ import annotations
@@ -78,6 +91,13 @@ class LoadGenerator:
     #: scales with the pool, not the stream length.  None samples a fresh
     #: program per arrival (the paper's continuum).
     circuit_pool_size: int | None = None
+    #: ``"poisson"`` (the paper's model) or ``"mmpp"`` (two-state
+    #: Markov-modulated Poisson: calm at the nominal rate, bursts at
+    #: ``burst_rate_multiplier`` times it).
+    arrival_process: str = "poisson"
+    burst_rate_multiplier: float = 6.0
+    mean_burst_seconds: float = 120.0
+    mean_calm_seconds: float = 600.0
     seed: int = 0
 
     def _make_sampler(self) -> WorkloadSampler:
@@ -100,6 +120,11 @@ class LoadGenerator:
         Holds O(circuit_pool_size) state; with no pool, O(1) applications
         are alive at a time (whatever the consumer retains).
         """
+        if self.arrival_process not in ("poisson", "mmpp"):
+            raise ValueError(
+                f"unknown arrival_process {self.arrival_process!r}; "
+                "choose 'poisson' or 'mmpp'"
+            )
         rng = np.random.default_rng(self.seed)
         sampler = self._make_sampler()
         pool: list[QuantumJob] | None = None
@@ -108,15 +133,47 @@ class LoadGenerator:
                 self._build_job(sampler.sample(), rng)
                 for _ in range(self.circuit_pool_size)
             ]
+        # MMPP modulation state.  The poisson path never touches it (and
+        # draws no extra randomness), so default streams stay
+        # bit-identical to the pre-MMPP generator.
+        burst = False
+        next_flip = float("inf")
+        if self.arrival_process == "mmpp":
+            if self.burst_rate_multiplier <= 1.0:
+                raise ValueError("burst_rate_multiplier must be > 1")
+            if self.mean_calm_seconds <= 0 or self.mean_burst_seconds <= 0:
+                # A zero holding time pins simulated time at the flip
+                # instant and the chain toggles forever without yielding.
+                raise ValueError(
+                    "mean_calm_seconds and mean_burst_seconds must be > 0"
+                )
+            next_flip = rng.exponential(self.mean_calm_seconds)
         t = 0.0
         while True:
-            hour = (t / 3600.0) % 24.0
-            rate = (
-                diurnal_rate(hour, self.mean_rate_per_hour)
-                if self.diurnal
-                else self.mean_rate_per_hour
-            )
-            t += rng.exponential(3600.0 / rate)
+            # Next arrival of the (possibly modulated) Poisson process.
+            # A candidate past the next state flip is discarded and
+            # redrawn from the flip instant at the new state's rate —
+            # exact by memorylessness of the exponential.
+            while True:
+                hour = (t / 3600.0) % 24.0
+                rate = (
+                    diurnal_rate(hour, self.mean_rate_per_hour)
+                    if self.diurnal
+                    else self.mean_rate_per_hour
+                )
+                if burst:
+                    rate *= self.burst_rate_multiplier
+                candidate = t + rng.exponential(3600.0 / rate)
+                if candidate < next_flip:
+                    t = candidate
+                    break
+                t = next_flip
+                burst = not burst
+                next_flip = t + rng.exponential(
+                    self.mean_burst_seconds
+                    if burst
+                    else self.mean_calm_seconds
+                )
             if t >= duration_seconds:
                 return
             if pool is not None:

@@ -77,6 +77,17 @@ class SimulationMetrics:
     #: and how long the run took in wall-clock seconds.
     events_processed: int = 0
     wall_seconds: float = 0.0
+    #: Parallel-engine accounting: scheduling-cycle batches executed
+    #: (same-instant trigger deadlines coalesce into one batch) and the
+    #: widest batch seen — >1 means cycles actually overlapped.
+    cycle_batches: int = 0
+    max_batch_cycles: int = 0
+    #: Accumulated per-stage wall seconds across every scheduling cycle
+    #: (``preprocess`` / ``optimize`` / ``select`` summed over cycles,
+    #: plus ``optimize_wall``: what the optimization stage cost the event
+    #: loop per batch — under a parallel executor this is the max over
+    #: workers, not the sum, which is the whole point).
+    stage_seconds: dict = field(default_factory=dict)
     #: Estimate-cache counters, when the scheduling policy exposes a cache.
     estimate_cache: dict = field(default_factory=dict)
 
@@ -85,6 +96,34 @@ class SimulationMetrics:
         if self.wall_seconds <= 0:
             return 0.0
         return self.events_processed / self.wall_seconds
+
+    #: Fields that measure wall-clock rather than simulated behavior;
+    #: everything else must be bit-identical across seeded re-runs and
+    #: across cycle-executor backends.
+    TIMING_FIELDS = ("wall_seconds", "stage_seconds")
+
+    def deterministic_state(self) -> dict:
+        """Every field except wall-clock timings, in comparable form.
+
+        Two runs of the same seeded scenario — serial or parallel, any
+        executor backend — must produce equal ``deterministic_state()``
+        dicts.  ``TimeSeries`` fields compare as (times, values) tuples.
+        """
+        state = {}
+        for name, value in vars(self).items():
+            if name in self.TIMING_FIELDS:
+                continue
+            if isinstance(value, TimeSeries):
+                value = (tuple(value.times), tuple(value.values))
+            elif isinstance(value, dict) and any(
+                isinstance(v, TimeSeries) for v in value.values()
+            ):
+                value = {
+                    k: (tuple(v.times), tuple(v.values))
+                    for k, v in value.items()
+                }
+            state[name] = value
+        return state
 
     def summary(self) -> dict:
         loads = list(self.per_qpu_busy_seconds.values())

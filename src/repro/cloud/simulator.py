@@ -40,6 +40,17 @@ Two optional subsystems make the fleet *adaptive*:
   ``REBALANCE`` events, migrating pending jobs from overloaded shards to
   feasible underloaded ones.  Both are off by default, leaving static
   runs bit-identical.
+
+**The parallel scheduling engine:** TRIGGER deadlines that fire at the
+same simulated instant are coalesced into one batch; each due shard's
+pre-processing runs on the main thread (prefetching estimates through
+the shared cache), the pure optimization stage of the whole batch is
+dispatched to a :class:`~repro.cloud.cycle_executor.CycleExecutor`
+(serial / thread / process — serial is the default), and results fold
+back in shard-id order so metrics, RNG draws, heap pushes, and
+estimate-cache updates are identical on every backend.  Pass
+``cycle_executor="process"`` (or set ``CYCLE_EXECUTOR``) to overlap
+concurrently-due NSGA-II cycles on a worker pool.
 """
 
 from __future__ import annotations
@@ -54,9 +65,11 @@ from enum import IntEnum
 import numpy as np
 
 from ..backends.qpu import QPU
+from ..scheduler.cycle import run_optimization
 from ..scheduler.triggers import SchedulingTrigger
 from .availability import AvailabilityModel
 from .backend_sim import SimulatedQPU
+from .cycle_executor import CycleExecutor, make_cycle_executor
 from .execution import ExecutionModel
 from .fleet import (
     FleetShard,
@@ -127,6 +140,7 @@ class CloudSimulator:
         balancer: str | ShardBalancer = "round_robin",
         rebalance: str | RebalancePolicy | None = None,
         availability: AvailabilityModel | None = None,
+        cycle_executor: str | CycleExecutor | None = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.execution_model = execution_model or ExecutionModel(
@@ -156,6 +170,12 @@ class CloudSimulator:
             make_rebalancer(rebalance) if rebalance is not None else None
         )
         self.availability = availability
+        # The backend for concurrently-due scheduling cycles.  ``None``
+        # consults the CYCLE_EXECUTOR environment variable and falls back
+        # to serial; every backend is bit-identical by contract, so the
+        # choice is purely a wall-clock decision.
+        self.cycle_executor = make_cycle_executor(cycle_executor)
+        self._owns_executor = not isinstance(cycle_executor, CycleExecutor)
         self._rng = np.random.default_rng(self.config.seed)
 
     @classmethod
@@ -171,6 +191,7 @@ class CloudSimulator:
         config: SimulationConfig | None = None,
         rebalance: str | RebalancePolicy | None = None,
         availability: AvailabilityModel | None = None,
+        cycle_executor: str | CycleExecutor | None = None,
     ) -> "CloudSimulator":
         """Partition ``fleet`` into ``num_shards`` shards.
 
@@ -200,6 +221,7 @@ class CloudSimulator:
             balancer=balancer,
             rebalance=rebalance,
             availability=availability,
+            cycle_executor=cycle_executor,
         )
 
     # -- single-shard compatibility views ------------------------------
@@ -250,14 +272,79 @@ class CloudSimulator:
         metrics.unschedulable_jobs += 1
         apps_by_job.pop(job.job_id, None)
 
-    def _schedule_batch(
-        self, shard: FleetShard, now: float, metrics, apps_by_job, on_finish
+    def _run_cycles(
+        self,
+        shards: list[FleetShard],
+        now: float,
+        metrics,
+        apps_by_job,
+        on_finish,
     ) -> None:
-        """Run one batched cycle over the shard's pending queue."""
-        schedule = shard.policy.schedule(
-            shard.pending, shard.qpus, shard.waiting_map(now)
-        )
+        """Run one batched scheduling cycle per shard, as one engine batch.
+
+        ``shards`` must already be in shard-id order.  Policies exposing
+        the split cycle API (``begin_cycle`` / ``finish_cycle`` — the
+        Qonductor scheduler) snapshot their inputs on the main thread
+        first, with estimates prefetched through the shared cache; the
+        pure optimization stage of the whole batch then runs on the cycle
+        executor, and results fold back in shard-id order, so dispatch
+        RNG draws, completion pushes, metrics, and cache updates are
+        identical whichever backend — or worker — ran each cycle.
+        Policies without the split API (e.g. batched FCFS) schedule
+        inline during the fold, which is equally deterministic because
+        shards own disjoint devices and queues.
+        """
+        if not shards:
+            return
+        metrics.cycle_batches += 1
+        metrics.max_batch_cycles = max(metrics.max_batch_cycles, len(shards))
+        plans = [
+            (
+                shard,
+                shard.policy.begin_cycle(
+                    shard.pending, shard.qpus, shard.waiting_map(now)
+                )
+                if hasattr(shard.policy, "begin_cycle")
+                else None,
+            )
+            for shard in shards
+        ]
+        tasks = [
+            plan.task
+            for _, plan in plans
+            if plan is not None and plan.task is not None
+        ]
+        if tasks:
+            t0 = time.perf_counter()
+            results = iter(self.cycle_executor.run(run_optimization, tasks))
+            metrics.stage_seconds["optimize_wall"] = (
+                metrics.stage_seconds.get("optimize_wall", 0.0)
+                + time.perf_counter()
+                - t0
+            )
+        for shard, plan in plans:
+            if plan is None:
+                schedule = shard.policy.schedule(
+                    shard.pending, shard.qpus, shard.waiting_map(now)
+                )
+            else:
+                result = next(results) if plan.task is not None else None
+                schedule = shard.policy.finish_cycle(plan, result)
+            self._apply_schedule(
+                shard, schedule, now, metrics, apps_by_job, on_finish
+            )
+
+    def _apply_schedule(
+        self, shard: FleetShard, schedule, now: float, metrics, apps_by_job,
+        on_finish,
+    ) -> None:
+        """Fold one cycle's schedule back in: dispatch, fail, retain."""
         metrics.scheduling_cycles += 1
+        stage = getattr(schedule, "stage_seconds", None)
+        if stage:
+            agg = metrics.stage_seconds
+            for key, value in stage.items():
+                agg[key] = agg.get(key, 0.0) + value
         # Pre-warm ground-truth components with one array pass per target
         # device over the whole dispatched set; the per-job execute() calls
         # below then hit the memo (and keep their RNG draw order).
@@ -361,6 +448,19 @@ class CloudSimulator:
         ``LoadGenerator.iter_arrivals`` — which is consumed lazily, one
         arrival ahead of simulated time.
         """
+        try:
+            return self._run(apps)
+        finally:
+            if self._owns_executor:
+                # The executor was resolved from a name/env spec, so this
+                # run is its only user: release the workers even when the
+                # event loop raises (a later run() lazily rebuilds them).
+                # Caller-supplied instances stay open for reuse.
+                self.cycle_executor.close()
+
+    def _run(
+        self, apps: list[HybridApplication] | Iterable[HybridApplication]
+    ) -> SimulationMetrics:
         cfg = self.config
         wall_start = time.perf_counter()
         metrics = SimulationMetrics()
@@ -435,8 +535,8 @@ class CloudSimulator:
             deadline handler has its own flow — it always marks the
             trigger fired, even on an empty queue)."""
             if shard.trigger.should_fire(len(shard.pending), now):
-                self._schedule_batch(
-                    shard, now, metrics, apps_by_job, on_finish
+                self._run_cycles(
+                    [shard], now, metrics, apps_by_job, on_finish
                 )
                 shard.trigger.fired(now)
                 push(
@@ -543,27 +643,59 @@ class CloudSimulator:
                     )
 
             elif kind == EventType.TRIGGER:
-                shard = self.shards[payload]
-                if now < shard.trigger.next_deadline(now):
-                    continue  # stale deadline: the trigger fired meanwhile
-                if shard.trigger.should_fire(len(shard.pending), now):
-                    self._schedule_batch(
-                        shard, now, metrics, apps_by_job, on_finish
-                    )
-                shard.trigger.fired(now)
-                push(
-                    shard.trigger.next_deadline(now),
-                    EventType.TRIGGER,
-                    shard.shard_id,
-                )
+                # Coalesce every TRIGGER deadline landing at this same
+                # simulated instant into one engine batch.  TRIGGER is
+                # the highest-priority-value event kind, so every other
+                # same-time event has already been folded in; the batch
+                # executes in shard-id order (one canonical order for
+                # every executor backend), which is what keeps parallel
+                # runs bit-identical to serial ones.
+                due: list[FleetShard] = []
+                seen: set[int] = set()
 
-        # Final flush and bookkeeping: schedule leftovers at the horizon,
-        # fold in completions that land inside it, and take the last sample.
-        for shard in self.shards:
-            if shard.is_batched and shard.pending:
-                self._schedule_batch(
-                    shard, horizon, metrics, apps_by_job, on_finish
+                def consider(shard_id: int) -> None:
+                    if shard_id in seen:
+                        return  # duplicate deadline: stale by definition
+                    shard = self.shards[shard_id]
+                    if now < shard.trigger.next_deadline(now):
+                        return  # stale deadline: the trigger fired meanwhile
+                    seen.add(shard_id)
+                    due.append(shard)
+
+                consider(payload)
+                while (
+                    heap
+                    and heap[0][0] == now
+                    and heap[0][1] == int(EventType.TRIGGER)
+                ):
+                    _, _, _, late = heapq.heappop(heap)
+                    metrics.events_processed += 1
+                    consider(late)
+                due.sort(key=lambda s: s.shard_id)
+                firing = [
+                    s
+                    for s in due
+                    if s.trigger.should_fire(len(s.pending), now)
+                ]
+                self._run_cycles(
+                    firing, now, metrics, apps_by_job, on_finish
                 )
+                for shard in due:
+                    shard.trigger.fired(now)
+                    push(
+                        shard.trigger.next_deadline(now),
+                        EventType.TRIGGER,
+                        shard.shard_id,
+                    )
+
+        # Final flush and bookkeeping: schedule leftovers at the horizon
+        # (one engine batch over every backlogged shard, like an aligned
+        # deadline), fold in completions that land inside it, and take
+        # the last sample.
+        self._run_cycles(
+            [s for s in self.shards if s.is_batched and s.pending],
+            horizon, metrics, apps_by_job, on_finish,
+        )
         while heap:
             t, kind, _, payload = heapq.heappop(heap)
             if kind == EventType.COMPLETION and t <= horizon:

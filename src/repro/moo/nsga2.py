@@ -4,6 +4,14 @@ The optimizer behind the Qonductor scheduler's optimization stage. All
 population-level operations are vectorized; one generation is
 select -> crossover -> mutate -> repair -> evaluate -> elitist truncation
 by (front rank, crowding distance).
+
+:meth:`NSGA2.minimize` is a pure function of ``(problem, termination,
+seed)``: the random stream is rebuilt from the configured seed on every
+call instead of advancing a long-lived generator, so identical inputs
+give identical outputs no matter how many times — or on which worker
+process — the optimizer runs.  That purity is what lets the parallel
+scheduling engine ship cycles to a worker pool while staying bit-identical
+to serial execution.
 """
 
 from __future__ import annotations
@@ -49,7 +57,7 @@ class NSGA2:
         *,
         crossover_rate: float = 0.9,
         mutation_eta: float = 12.0,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
         keep_history: bool = False,
     ) -> None:
         if pop_size < 4 or pop_size % 2:
@@ -58,12 +66,22 @@ class NSGA2:
         self.crossover_rate = crossover_rate
         self.mutation_eta = mutation_eta
         self.keep_history = keep_history
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def minimize(
-        self, problem: Problem, termination: Termination | None = None
+        self,
+        problem: Problem,
+        termination: Termination | None = None,
+        *,
+        seed: int | np.random.SeedSequence | None = None,
     ) -> NSGA2Result:
-        rng = self._rng
+        """Run the GA; ``seed`` (or the constructor seed) fixes the stream.
+
+        The generator is created fresh per call, so repeated calls with
+        the same problem and seed are bit-identical — there is no hidden
+        RNG state carried between cycles.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
         term = termination or Termination()
         X = problem.sample(self.pop_size, rng)
         F = problem.evaluate(X)
@@ -118,6 +136,19 @@ class NSGA2:
         return rank, crowd
 
     def _truncate(self, X: np.ndarray, F: np.ndarray):
+        """Elitist truncation to ``pop_size`` by (front, crowding).
+
+        The survivors' ranks and crowding come straight from the front
+        partition computed here — re-running non-dominated sorting on the
+        truncated set is provably redundant (every survivor in front ``r``
+        is still dominated by a surviving member of front ``r - 1``, and
+        never by a peer), so the second O(pop^2) sort the old
+        implementation paid per generation is skipped.  Values are
+        bit-identical: full fronts keep their whole member set, and the
+        one split front's crowding is recomputed over exactly the
+        surviving subset, matching what a fresh rank-and-crowd over the
+        survivors would produce (asserted in ``tests/test_ml_moo.py``).
+        """
         fronts = fast_non_dominated_sort(F)
         chosen: list[np.ndarray] = []
         count = 0
@@ -133,5 +164,14 @@ class NSGA2:
                 break
         idx = np.concatenate(chosen)
         Xs, Fs = X[idx], F[idx]
-        rank, crowd = self._rank_and_crowd(Fs)
+        rank = np.concatenate(
+            [np.full(len(sel), r, dtype=np.int64) for r, sel in enumerate(chosen)]
+        )
+        crowd = np.empty(len(idx))
+        offset = 0
+        for sel in chosen:
+            crowd[offset : offset + len(sel)] = crowding_distance(
+                Fs[offset : offset + len(sel)]
+            )
+            offset += len(sel)
         return Xs, Fs, rank, crowd

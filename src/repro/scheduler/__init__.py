@@ -8,6 +8,12 @@ from .calibration_crossover import (
     split_at_calibration,
 )
 from .classical import ClassicalNode, ClassicalRequest, ClassicalScheduler
+from .cycle import (
+    OptimizationResult,
+    OptimizationTask,
+    cycle_seed,
+    run_optimization,
+)
 from .formulation import SchedulingInput, SchedulingProblem
 from .policies import (
     BatchedFCFSPolicy,
@@ -15,7 +21,12 @@ from .policies import (
     LeastBusyPolicy,
     RandomPolicy,
 )
-from .quantum import QonductorScheduler, QuantumSchedule, ScheduleDecision
+from .quantum import (
+    CyclePlan,
+    QonductorScheduler,
+    QuantumSchedule,
+    ScheduleDecision,
+)
 from .reservations import Reservation, ReservationManager
 from .triggers import SchedulingTrigger
 
@@ -25,6 +36,11 @@ __all__ = [
     "QonductorScheduler",
     "QuantumSchedule",
     "ScheduleDecision",
+    "CyclePlan",
+    "OptimizationTask",
+    "OptimizationResult",
+    "cycle_seed",
+    "run_optimization",
     "ClassicalNode",
     "ClassicalRequest",
     "ClassicalScheduler",

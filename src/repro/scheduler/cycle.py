@@ -1,0 +1,98 @@
+"""The pure optimization stage of a scheduling cycle.
+
+One NSGA-II cycle is, after pre-processing, a deterministic function of a
+:class:`~repro.scheduler.formulation.SchedulingInput` snapshot plus a seed
+— no scheduler, estimator, or simulator state is involved.  This module
+isolates that function so the cloud simulator's parallel engine can ship
+concurrently-due cycles to thread or process workers:
+
+* :class:`OptimizationTask` is the picklable work unit: the estimate
+  matrices (prefetched through the shared cache *before* the fork, so a
+  worker never touches shared mutable state), the optimizer knobs, and
+  the ``(base_seed, shard_id, cycle_index)`` entropy that pins the random
+  stream.
+* :func:`run_optimization` is the module-level pure worker function
+  (importable by name, as ``multiprocessing`` spawn contexts require).
+  Given the same task it returns bit-identical results on any backend in
+  any order, which is what keeps parallel runs identical to serial ones.
+
+Seeds derive from :func:`cycle_seed`: a ``numpy`` ``SeedSequence`` over
+``(base_seed, shard_id, cycle_index)``.  Every (shard, cycle) pair gets a
+collision-free, execution-order-independent stream — unlike the old
+``seed + cycle`` counters, where shard 0's cycle 3 and shard 1's cycle 2
+drew identical randomness and results depended on per-instance call
+counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..moo import NSGA2, Termination
+from .formulation import SchedulingInput, SchedulingProblem
+
+__all__ = ["OptimizationTask", "OptimizationResult", "cycle_seed", "run_optimization"]
+
+
+def cycle_seed(
+    base_seed: int, shard_id: int, cycle_index: int
+) -> np.random.SeedSequence:
+    """The root seed of one scheduling cycle's random stream.
+
+    Pure function of identity, not of execution order: two shards' cycles
+    running concurrently (or a cycle re-run on a worker process) always
+    draw the same stream a serial run would have.
+    """
+    return np.random.SeedSequence(entropy=(base_seed, shard_id, cycle_index))
+
+
+@dataclass(frozen=True)
+class OptimizationTask:
+    """Everything one optimization-stage run needs, picklable."""
+
+    data: SchedulingInput
+    pop_size: int
+    max_generations: int
+    base_seed: int
+    shard_id: int
+    cycle_index: int
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """What the optimization stage hands back to the fold-in step."""
+
+    X: np.ndarray  # (n_front, n_jobs) front decision vectors
+    F: np.ndarray  # (n_front, 2) front objective values
+    generations: int
+    evaluations: int
+    #: Wall seconds the NSGA-II run itself took (measured in the worker).
+    optimize_seconds: float = field(default=0.0, compare=False)
+
+
+def run_optimization(task: OptimizationTask) -> OptimizationResult:
+    """Stage 2 (NSGA-II over Eq. 1) as a pure function of the task.
+
+    Builds the problem and the optimizer from the snapshot, derives the
+    repair and GA streams from :func:`cycle_seed`, and returns only
+    arrays — safe to run on any :class:`~repro.cloud.cycle_executor`
+    backend.
+    """
+    t0 = time.perf_counter()
+    root = cycle_seed(task.base_seed, task.shard_id, task.cycle_index)
+    repair_seed, ga_seed = root.spawn(2)
+    problem = SchedulingProblem(task.data, seed=repair_seed)
+    algo = NSGA2(pop_size=task.pop_size, seed=ga_seed)
+    result = algo.minimize(
+        problem, Termination(max_generations=task.max_generations)
+    )
+    return OptimizationResult(
+        X=result.X,
+        F=result.F,
+        generations=result.generations,
+        evaluations=result.evaluations,
+        optimize_seconds=time.perf_counter() - t0,
+    )

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..moo.problem import Problem
 
-__all__ = ["SchedulingInput", "SchedulingProblem"]
+__all__ = ["SchedulingInput", "SchedulingProblem", "assignment_stats"]
 
 
 @dataclass
@@ -60,7 +60,11 @@ class SchedulingInput:
 class SchedulingProblem(Problem):
     """Integer-encoded Eq. 1 instance over a :class:`SchedulingInput`."""
 
-    def __init__(self, data: SchedulingInput, seed: int = 0) -> None:
+    def __init__(
+        self,
+        data: SchedulingInput,
+        seed: int | np.random.SeedSequence = 0,
+    ) -> None:
         super().__init__(
             n_var=data.num_jobs, n_obj=2, lower=0, upper=data.num_qpus - 1
         )
@@ -132,16 +136,25 @@ class SchedulingProblem(Problem):
     # ------------------------------------------------------------------
     def assignment_stats(self, x: np.ndarray) -> dict:
         """Mean JCT / fidelity / exec time of one assignment vector."""
-        data = self.data
-        rows = np.arange(self.n_var)
-        exec_sel = data.exec_seconds[rows, x]
-        totals = np.bincount(x, weights=exec_sel, minlength=data.num_qpus)
-        jct = data.waiting_seconds[x] + totals[x]
-        return {
-            "mean_jct": float(jct.mean()),
-            "p95_jct": float(np.percentile(jct, 95)),
-            "mean_fidelity": float(data.fidelity[rows, x].mean()),
-            "p95_fidelity": float(np.percentile(data.fidelity[rows, x], 95)),
-            "mean_exec_seconds": float(exec_sel.mean()),
-            "per_qpu_load": totals.tolist(),
-        }
+        return assignment_stats(self.data, x)
+
+
+def assignment_stats(data: SchedulingInput, x: np.ndarray) -> dict:
+    """Mean JCT / fidelity / exec stats of one assignment over ``data``.
+
+    Module-level so the scheduler's fold-in stage can score a worker's
+    chosen solution without reconstructing the (worker-side)
+    :class:`SchedulingProblem`.
+    """
+    rows = np.arange(data.num_jobs)
+    exec_sel = data.exec_seconds[rows, x]
+    totals = np.bincount(x, weights=exec_sel, minlength=data.num_qpus)
+    jct = data.waiting_seconds[x] + totals[x]
+    return {
+        "mean_jct": float(jct.mean()),
+        "p95_jct": float(np.percentile(jct, 95)),
+        "mean_fidelity": float(data.fidelity[rows, x].mean()),
+        "p95_fidelity": float(np.percentile(data.fidelity[rows, x], 95)),
+        "mean_exec_seconds": float(exec_sel.mean()),
+        "per_qpu_load": totals.tolist(),
+    }

@@ -49,12 +49,13 @@ class FCFSPolicy:
 
     name = "fcfs"
 
-    def __init__(self, estimate_fn: EstimateFn) -> None:
+    def __init__(self, estimate_fn: EstimateFn, *, shard_id: int = 0) -> None:
         self.estimate_fn = estimate_fn
+        self.shard_id = shard_id
 
     def spawn(self, shard_id: int) -> "FCFSPolicy":
         """A per-shard instance sharing this policy's estimate source."""
-        return FCFSPolicy(self.estimate_fn)
+        return type(self)(self.estimate_fn, shard_id=shard_id)
 
     def on_recalibration(self, qpus: list[QPU]) -> None:
         _forward_recalibration(self.estimate_fn, qpus)
@@ -128,10 +129,6 @@ class BatchedFCFSPolicy(FCFSPolicy):
 
     name = "fcfs_batched"
 
-    def spawn(self, shard_id: int) -> "BatchedFCFSPolicy":
-        """A per-shard instance sharing this policy's estimate source."""
-        return BatchedFCFSPolicy(self.estimate_fn)
-
     def schedule(
         self,
         jobs: list[QuantumJob],
@@ -153,12 +150,13 @@ class LeastBusyPolicy:
 
     name = "least_busy"
 
-    def __init__(self, estimate_fn: EstimateFn) -> None:
+    def __init__(self, estimate_fn: EstimateFn, *, shard_id: int = 0) -> None:
         self.estimate_fn = estimate_fn
+        self.shard_id = shard_id
 
     def spawn(self, shard_id: int) -> "LeastBusyPolicy":
         """A per-shard instance sharing this policy's estimate source."""
-        return LeastBusyPolicy(self.estimate_fn)
+        return LeastBusyPolicy(self.estimate_fn, shard_id=shard_id)
 
     def on_recalibration(self, qpus: list[QPU]) -> None:
         _forward_recalibration(self.estimate_fn, qpus)
@@ -189,13 +187,24 @@ class RandomPolicy:
 
     name = "random"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, shard_id: int | None = None) -> None:
         self._seed = seed
-        self._rng = np.random.default_rng(seed)
+        self.shard_id = shard_id or 0
+        # Shard 0 (and the unsharded prototype) keeps the plain seeded
+        # stream — the fleet contract requires a 1-shard sharded run to
+        # be bit-identical to the unsharded simulator.  Every other shard
+        # draws from an explicit (seed, shard_id) substream, distinct
+        # from shard 0's and from each other's.
+        if shard_id is None or shard_id == 0:
+            self._rng = np.random.default_rng(seed)
+        else:
+            self._rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(seed, shard_id))
+            )
 
     def spawn(self, shard_id: int) -> "RandomPolicy":
         """A per-shard instance with a shard-derived RNG stream."""
-        return RandomPolicy(seed=self._seed + shard_id)
+        return RandomPolicy(seed=self._seed, shard_id=shard_id)
 
     def assign(
         self,

@@ -10,6 +10,16 @@ Three configurable stages:
    operator's preference (fidelity / balanced / JCT).
 
 Stage runtimes are measured individually (Fig. 9c).
+
+The stages are exposed both fused (:meth:`QonductorScheduler.schedule`,
+one call per cycle) and split (:meth:`begin_cycle` -> the pure
+:func:`~repro.scheduler.cycle.run_optimization` -> :meth:`finish_cycle`)
+so the cloud simulator's parallel engine can run pre-processing and
+selection on the main thread — where the shared estimate cache lives —
+while the dominant optimization stage runs on a worker pool.  Cycle
+randomness derives from ``(seed, shard_id, cycle_index)`` (see
+:func:`~repro.scheduler.cycle.cycle_seed`), so results never depend on
+execution order.
 """
 
 from __future__ import annotations
@@ -22,10 +32,16 @@ import numpy as np
 
 from ..backends.qpu import QPU
 from ..cloud.job import QuantumJob, feasibility_matrix
-from ..moo import NSGA2, Termination, select_by_preference
-from .formulation import SchedulingInput, SchedulingProblem
+from ..moo import select_by_preference
+from .cycle import OptimizationResult, OptimizationTask, run_optimization
+from .formulation import SchedulingInput, assignment_stats
 
-__all__ = ["ScheduleDecision", "QuantumSchedule", "QonductorScheduler"]
+__all__ = [
+    "ScheduleDecision",
+    "QuantumSchedule",
+    "CyclePlan",
+    "QonductorScheduler",
+]
 
 #: Estimate callback signature: (job, qpu) -> (fidelity, exec_seconds).
 EstimateFn = Callable[[QuantumJob, QPU], tuple[float, float]]
@@ -73,6 +89,24 @@ class QuantumSchedule:
         return float(1.0 - self.front_F[:, 1].min()) if len(self.front_F) else 0.0
 
 
+@dataclass
+class CyclePlan:
+    """Stage-1 output carried between :meth:`QonductorScheduler.begin_cycle`
+    and :meth:`~QonductorScheduler.finish_cycle`.
+
+    Holds the main-thread state of one in-flight cycle: the filtered job
+    lists, the picklable :class:`OptimizationTask` snapshot (``None`` when
+    nothing is schedulable and the cycle short-circuits), and the
+    pre-processing stage time.
+    """
+
+    task: OptimizationTask | None
+    schedulable: list[QuantumJob]
+    rejected: list[QuantumJob]
+    online: list[QPU]
+    preprocess_seconds: float
+
+
 class QonductorScheduler:
     """Many-to-many hybrid scheduler balancing fidelity vs JCT."""
 
@@ -84,6 +118,7 @@ class QonductorScheduler:
         pop_size: int = 64,
         max_generations: int = 40,
         seed: int = 0,
+        shard_id: int = 0,
         on_recalibrate: Callable[[list[QPU]], None] | None = None,
     ) -> None:
         self.estimate_fn = estimate_fn
@@ -91,23 +126,27 @@ class QonductorScheduler:
         self.pop_size = pop_size
         self.max_generations = max_generations
         self._seed = seed
+        self.shard_id = shard_id
         self._cycle = 0
         self._on_recalibrate = on_recalibrate
 
     def spawn(self, shard_id: int) -> "QonductorScheduler":
         """A per-shard scheduler over this one's configuration.
 
-        Shares the estimate source (one fleet-wide cache) and derives the
-        NSGA-II seed from the shard id, so shard 0 of a 1-shard fleet is
-        seeded exactly like the unsharded scheduler and a sharded run
-        stays deterministic.
+        Shares the estimate source (one fleet-wide cache) and keeps the
+        base seed, tagging the instance with ``shard_id`` instead: cycle
+        randomness derives from ``(seed, shard_id, cycle_index)``, so
+        shard 0 of a 1-shard fleet is seeded exactly like the unsharded
+        scheduler, shards never collide on a stream, and results are
+        independent of which worker runs which cycle first.
         """
         return QonductorScheduler(
             self.estimate_fn,
             preference=self.preference,
             pop_size=self.pop_size,
             max_generations=self.max_generations,
-            seed=self._seed + shard_id,
+            seed=self._seed,
+            shard_id=shard_id,
             on_recalibrate=self._on_recalibrate,
         )
 
@@ -162,37 +201,68 @@ class QonductorScheduler:
         )
         return data, schedulable, rejected
 
-    def schedule(
+    def begin_cycle(
         self,
         jobs: list[QuantumJob],
         qpus: list[QPU],
         waiting_seconds: dict[str, float] | None = None,
-    ) -> QuantumSchedule:
-        """Run one full scheduling cycle over ``jobs``."""
+    ) -> CyclePlan:
+        """Stage 1, main-thread half of a cycle: snapshot the inputs.
+
+        Runs pre-processing (which reads and warms the shared estimate
+        cache — the only stateful part of a cycle) and packages the
+        result as a picklable :class:`OptimizationTask`.  The cycle
+        counter advances here, so the task's seed entropy is fixed before
+        any worker runs.
+        """
         self._cycle += 1
         waiting_seconds = waiting_seconds or {}
         online = [q for q in qpus if q.online]
-
         t0 = time.perf_counter()
         data, schedulable, rejected = self.preprocess(jobs, qpus, waiting_seconds)
         t_pre = time.perf_counter() - t0
-        if data is None:
+        task = None
+        if data is not None:
+            task = OptimizationTask(
+                data=data,
+                pop_size=self.pop_size,
+                max_generations=self.max_generations,
+                base_seed=self._seed,
+                shard_id=self.shard_id,
+                cycle_index=self._cycle,
+            )
+        return CyclePlan(
+            task=task,
+            schedulable=schedulable,
+            rejected=rejected,
+            online=online,
+            preprocess_seconds=t_pre,
+        )
+
+    def finish_cycle(
+        self, plan: CyclePlan, result: OptimizationResult | None
+    ) -> QuantumSchedule:
+        """Stage 3, main-thread half: select one solution and build the
+        schedule from a completed optimization run.
+
+        ``result`` is ``None`` exactly when ``plan.task`` was ``None``
+        (nothing schedulable); the cycle then returns an empty schedule.
+        """
+        if plan.task is None or result is None:
             return QuantumSchedule(
                 decisions=[],
-                unschedulable=rejected,
+                unschedulable=plan.rejected,
                 front_F=np.zeros((0, 2)),
                 chosen_index=-1,
                 stats={},
-                stage_seconds={"preprocess": t_pre, "optimize": 0.0, "select": 0.0},
+                stage_seconds={
+                    "preprocess": plan.preprocess_seconds,
+                    "optimize": 0.0,
+                    "select": 0.0,
+                },
             )
-
-        t0 = time.perf_counter()
-        problem = SchedulingProblem(data, seed=self._seed + self._cycle)
-        algo = NSGA2(pop_size=self.pop_size, seed=self._seed + self._cycle)
-        result = algo.minimize(
-            problem, Termination(max_generations=self.max_generations)
-        )
-        t_opt = time.perf_counter() - t0
+        data = plan.task.data
+        online = plan.online
 
         t0 = time.perf_counter()
         chosen = select_by_preference(result.F, self.preference)
@@ -215,18 +285,29 @@ class QonductorScheduler:
                 est_fidelity=float(data.fidelity[i, assignment[i]]),
                 est_exec_seconds=float(data.exec_seconds[i, assignment[i]]),
             )
-            for i, job in enumerate(schedulable)
+            for i, job in enumerate(plan.schedulable)
         ]
         return QuantumSchedule(
             decisions=decisions,
-            unschedulable=rejected,
+            unschedulable=plan.rejected,
             front_F=result.F,
             chosen_index=chosen,
-            stats=problem.assignment_stats(assignment),
+            stats=assignment_stats(data, assignment),
             stage_seconds={
-                "preprocess": t_pre,
-                "optimize": t_opt,
+                "preprocess": plan.preprocess_seconds,
+                "optimize": result.optimize_seconds,
                 "select": t_sel,
             },
             front_exec_seconds=front_exec,
         )
+
+    def schedule(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        waiting_seconds: dict[str, float] | None = None,
+    ) -> QuantumSchedule:
+        """Run one full scheduling cycle over ``jobs`` (fused stages)."""
+        plan = self.begin_cycle(jobs, qpus, waiting_seconds)
+        result = run_optimization(plan.task) if plan.task is not None else None
+        return self.finish_cycle(plan, result)

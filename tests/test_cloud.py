@@ -231,6 +231,98 @@ class TestLoadGenerator:
         rates = [diurnal_rate(h) for h in range(24)]
         assert min(rates) >= 1100 - 1 and max(rates) <= 2050 + 1
 
+    def test_mmpp_seeded_determinism(self):
+        """The Markov-modulated stream is a pure function of the seed,
+        and its eager and lazy views are bit-identical."""
+
+        def make():
+            return LoadGenerator(
+                mean_rate_per_hour=1200,
+                diurnal=False,
+                arrival_process="mmpp",
+                burst_rate_multiplier=8.0,
+                mean_burst_seconds=90.0,
+                mean_calm_seconds=400.0,
+                seed=11,
+            )
+
+        a = make().generate(3600.0)
+        b = make().generate(3600.0)
+        lazy = list(make().iter_arrivals(3600.0))
+        assert len(a) == len(b) == len(lazy) > 0
+        for x, y, z in zip(a, b, lazy):
+            assert x.arrival_time == y.arrival_time == z.arrival_time
+            assert (
+                x.quantum_job.metrics.fingerprint
+                == y.quantum_job.metrics.fingerprint
+                == z.quantum_job.metrics.fingerprint
+            )
+
+    def test_mmpp_burstier_than_poisson(self):
+        """At a matched nominal rate, MMPP inter-arrivals must show more
+        dispersion than Poisson (CV > 1), which is the point of the mode."""
+
+        def inter_cv(process):
+            gen = LoadGenerator(
+                mean_rate_per_hour=1200,
+                diurnal=False,
+                arrival_process=process,
+                burst_rate_multiplier=10.0,
+                mean_burst_seconds=120.0,
+                mean_calm_seconds=600.0,
+                seed=5,
+            )
+            times = [a.arrival_time for a in gen.generate(4 * 3600.0)]
+            gaps = np.diff(times)
+            return float(np.std(gaps) / np.mean(gaps))
+
+        poisson_cv = inter_cv("poisson")
+        mmpp_cv = inter_cv("mmpp")
+        assert poisson_cv == pytest.approx(1.0, abs=0.15)
+        assert mmpp_cv > poisson_cv + 0.3
+
+    def test_mmpp_validation(self):
+        with pytest.raises(ValueError, match="arrival_process"):
+            LoadGenerator(arrival_process="bogus").generate(60.0)
+        with pytest.raises(ValueError, match="burst_rate_multiplier"):
+            LoadGenerator(
+                arrival_process="mmpp", burst_rate_multiplier=1.0
+            ).generate(60.0)
+        # Zero holding times would pin time at the flip instant and loop
+        # forever; they must fail loudly instead.
+        with pytest.raises(ValueError, match="mean_calm_seconds"):
+            LoadGenerator(
+                arrival_process="mmpp", mean_calm_seconds=0.0
+            ).generate(60.0)
+        with pytest.raises(ValueError, match="mean_burst_seconds"):
+            LoadGenerator(
+                arrival_process="mmpp", mean_burst_seconds=-1.0
+            ).generate(60.0)
+
+    def test_poisson_stream_unchanged_by_mmpp_support(self):
+        """The default process draws exactly the stream it always did —
+        adding the MMPP branch must not shift any seeded scenario."""
+        times = [
+            a.arrival_time
+            for a in LoadGenerator(
+                mean_rate_per_hour=600, seed=2
+            ).generate(600.0)
+        ]
+        burst_times = [
+            a.arrival_time
+            for a in LoadGenerator(
+                mean_rate_per_hour=600, seed=2, arrival_process="mmpp"
+            ).generate(600.0)
+        ]
+        assert times and times != burst_times  # mmpp really modulates
+        reference = [
+            a.arrival_time
+            for a in LoadGenerator(
+                mean_rate_per_hour=600, seed=2
+            ).generate(600.0)
+        ]
+        assert times == reference
+
     def test_diurnal_swing_scales_with_mean_rate(self):
         """Regression: the sinusoidal amplitude must rescale with
         ``mean_rate`` — a 2x load profile is exactly the IBM profile

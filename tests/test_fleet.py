@@ -419,6 +419,112 @@ class TestRebalancePolicies:
         shards[0].pending = [_job(5) for _ in range(8)]
         assert policy.rebalance(shards, 0.0) == []
 
+    def test_threshold_batched_drain_matches_reference(self):
+        """The resumable-scan drain must make *identical* migration
+        decisions to the restart-scan reference algorithm it replaced —
+        on the deep-backlog skew shape and on fuzzed width mixes."""
+
+        def reference_rebalance(policy, shards):
+            """The pre-batching O(moves x queue) drain, verbatim."""
+            moves = []
+            received = {}
+            moved_ids = set()
+            width = {s.shard_id: s.max_qubits for s in shards}
+            while True:
+                moved = False
+                for src in sorted(
+                    shards, key=lambda s: (-len(s.pending), s.shard_id)
+                ):
+                    eligible = [
+                        s
+                        for s in shards
+                        if s is not src
+                        and s.is_batched
+                        and len(src.pending) - len(s.pending)
+                        >= policy.min_gap
+                    ]
+                    if not eligible:
+                        continue
+                    for i in range(len(src.pending) - 1, -1, -1):
+                        job = src.pending[i]
+                        if job.job_id in moved_ids:
+                            continue
+                        dsts = [
+                            s
+                            for s in eligible
+                            if job.num_qubits <= width[s.shard_id]
+                        ]
+                        if not dsts:
+                            continue
+                        dst = min(
+                            dsts, key=lambda s: (len(s.pending), s.shard_id)
+                        )
+                        moved_ids.add(job.job_id)
+                        moves.append(policy._move(src, i, dst))
+                        received[dst] = received.get(dst, 0) + 1
+                        moved = True
+                        break
+                    if moved:
+                        break
+                if not moved:
+                    break
+            for dst, count in received.items():
+                tail = dst.pending[-count:]
+                tail.sort(key=lambda j: (j.arrival_time, j.job_id))
+                dst.pending[-count:] = tail
+            return moves
+
+        def scenario_queues(seed, sizes, widths):
+            rng = np.random.default_rng(seed)
+            queues = []
+            t = 0.0
+            for size in sizes:
+                queue = []
+                for _ in range(size):
+                    job = _job(int(rng.choice(widths)))
+                    t += 1.0
+                    job.arrival_time = t
+                    queue.append(job)
+                queues.append(queue)
+            return queues
+
+        # The skew-stress shape (8-16q stream piled on the 16q shard
+        # while 27q and 7q shards idle), then fuzzed variants.
+        cases = [
+            (["guadalupe"], ["auckland"], ["lagos"], [0, 60, 0], (8, 16)),
+        ]
+        rng = np.random.default_rng(9)
+        for _ in range(12):
+            sizes = [int(n) for n in rng.integers(0, 40, size=3)]
+            cases.append(
+                (["guadalupe"], ["auckland"], ["lagos"], sizes, (2, 27))
+            )
+        for g1, g2, g3, sizes, width_range in cases:
+            for min_gap in (2, 4, 8):
+                queues = scenario_queues(
+                    7, sizes, list(range(width_range[0], width_range[1] + 1))
+                )
+                ref_shards = self._batched_shards([g1, g2, g3])
+                new_shards = self._batched_shards([g1, g2, g3])
+                for shard, queue in zip(ref_shards, queues):
+                    shard.pending = list(queue)
+                for shard, queue in zip(new_shards, queues):
+                    shard.pending = list(queue)
+                policy = ThresholdRebalancePolicy(min_gap=min_gap)
+                ref_moves = reference_rebalance(policy, ref_shards)
+                new_moves = policy.rebalance(new_shards, 0.0)
+                assert [
+                    (m.job.job_id, m.src.shard_id, m.dst.shard_id)
+                    for m in new_moves
+                ] == [
+                    (m.job.job_id, m.src.shard_id, m.dst.shard_id)
+                    for m in ref_moves
+                ]
+                for ref, new in zip(ref_shards, new_shards):
+                    assert [j.job_id for j in ref.pending] == [
+                        j.job_id for j in new.pending
+                    ]
+
     def test_single_shard_noop(self):
         shards = self._batched_shards([["auckland"]])
         shards[0].pending = [_job(5) for _ in range(10)]

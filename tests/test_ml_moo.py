@@ -195,6 +195,58 @@ class TestNSGA2:
         )
         assert res.X.min() >= 0 and res.X.max() <= 50
 
+    def test_minimize_pure_across_calls(self):
+        """Same (problem, termination, seed) -> bit-identical results on
+        repeated calls of the *same* optimizer instance: minimize carries
+        no hidden RNG state between cycles (the parallel-engine contract)."""
+        algo = NSGA2(pop_size=16, seed=7)
+        a = algo.minimize(_Biobj(), Termination(max_generations=12))
+        b = algo.minimize(_Biobj(), Termination(max_generations=12))
+        assert np.array_equal(a.X, b.X) and np.array_equal(a.F, b.F)
+        assert a.generations == b.generations
+        # An explicit per-call seed overrides the constructor stream.
+        c = algo.minimize(
+            _Biobj(), Termination(max_generations=12), seed=99
+        )
+        assert not np.array_equal(a.F, c.F) or not np.array_equal(a.X, c.X)
+
+    def test_truncate_reuses_selection_fronts_bit_identical(self):
+        """The fast truncation (ranks/crowding derived from the fronts
+        already computed) must match the old recompute-from-scratch
+        version bit for bit, across seeds and generations."""
+
+        class ReferenceNSGA2(NSGA2):
+            def _truncate(self, X, F):
+                fronts = fast_non_dominated_sort(F)
+                chosen = []
+                count = 0
+                for front in fronts:
+                    if count + len(front) <= self.pop_size:
+                        chosen.append(front)
+                        count += len(front)
+                    else:
+                        crowd = crowding_distance(F[front])
+                        order = np.argsort(-crowd, kind="stable")
+                        chosen.append(front[order[: self.pop_size - count]])
+                        count = self.pop_size
+                        break
+                idx = np.concatenate(chosen)
+                Xs, Fs = X[idx], F[idx]
+                rank, crowd = self._rank_and_crowd(Fs)
+                return Xs, Fs, rank, crowd
+
+        for seed in range(5):
+            fast = NSGA2(pop_size=16, seed=seed).minimize(
+                _Biobj(), Termination(max_generations=15)
+            )
+            ref = ReferenceNSGA2(pop_size=16, seed=seed).minimize(
+                _Biobj(), Termination(max_generations=15)
+            )
+            assert np.array_equal(fast.X, ref.X)
+            assert np.array_equal(fast.F, ref.F)
+            assert fast.generations == ref.generations
+            assert fast.evaluations == ref.evaluations
+
 
 class TestMCDM:
     def test_pseudo_weights_rows_sum_to_one(self):
