@@ -1,0 +1,59 @@
+"""Multi-tenant front door: one abusive tenant vs admission control.
+
+Extension scenario (not a paper figure): three normal tenants — one
+premium (tier 0, tight SLO) and two standard — share a bursty MMPP
+stream with a flooding "abuser" that contributes half the offered load.
+A QPU flashes out mid-run for good measure.  Three arms on matched
+seeds compare what the abuser costs the premium tenant's tail latency
+and what the admission front door (per-tenant token-bucket rate limit +
+queue-depth quota, overflow degraded to best effort) claws back.
+
+Run:  python examples/tenant_scenario.py [--minutes 30] [--rate 2400]
+"""
+
+import argparse
+
+from repro.experiments import tenant_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--minutes", type=float, default=30.0)
+    parser.add_argument("--rate", type=float, default=2400.0)
+    args = parser.parse_args()
+
+    print(
+        f"Simulating {args.minutes:.0f} min at {args.rate:.0f} jobs/hour "
+        "(3 arms: no abuser / admission off / admission on) ..."
+    )
+    r = tenant_study(
+        rate_per_hour=args.rate,
+        duration_seconds=args.minutes * 60.0,
+    )
+
+    arms = r["arms"]
+    print(f"\n{'metric':<26s}" + "".join(f"{a:>16s}" for a in arms))
+    for key, label in [
+        ("tier0_p95_jct", "premium p95 JCT [s]"),
+        ("tier0_mean_jct", "premium mean JCT [s]"),
+        ("jain_fairness", "Jain fairness"),
+        ("slo_violations", "SLO violations"),
+        ("admission_rejected", "rejected at door"),
+        ("admission_degraded", "degraded to B/E"),
+        ("dispatched_jobs", "dispatched jobs"),
+    ]:
+        row = "".join(f"{arms[a][key]:>16.3f}" for a in arms)
+        print(f"{label:<26s}{row}")
+
+    iso = r["isolation"]
+    print(
+        f"\nWith admission on, the premium tenant's p95 JCT sits "
+        f"{iso['tier0_p95_degradation_pct']:+.1f}% from the no-abuser "
+        f"reference (gate: <= +15%), and Jain's index moves "
+        f"{iso['jain_admission_off']:.4f} -> {iso['jain_admission_on']:.4f} "
+        "vs the unprotected run."
+    )
+
+
+if __name__ == "__main__":
+    main()

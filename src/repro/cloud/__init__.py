@@ -36,6 +36,18 @@ from .loadgen import IBM_MEAN_RATE, IBM_RATE_BAND, LoadGenerator, diurnal_rate
 from .metrics import SimulationMetrics, TimeSeries
 from .proxy import ProxyEntry, TranspileProxy
 from .simulator import CloudSimulator, SimulationConfig
+from .tenancy import (
+    BEST_EFFORT_TIER,
+    AdmissionController,
+    AdmissionDecision,
+    Tenant,
+    TenantShare,
+    abusive_mix,
+    effective_tier,
+    jain_index,
+    tier_preference,
+    tier_sort,
+)
 
 __all__ = [
     "HybridApplication",
@@ -79,4 +91,14 @@ __all__ = [
     "SimulationConfig",
     "QueueTrace",
     "simulate_queue_imbalance",
+    "BEST_EFFORT_TIER",
+    "Tenant",
+    "TenantShare",
+    "AdmissionDecision",
+    "AdmissionController",
+    "abusive_mix",
+    "effective_tier",
+    "tier_sort",
+    "tier_preference",
+    "jain_index",
 ]

@@ -72,6 +72,12 @@ __all__ = [
 #: shard loads (a typical job occupies a QPU for tens of seconds).
 _BACKLOG_SECONDS_PER_JOB = 30.0
 
+#: Extra load a load-comparing balancer charges a shard per pending job
+#: of the *arriving* job's own tenant: a noisy tenant's burst spreads
+#: across shards instead of piling one queue onto the same neighbors.
+#: Only applies to tenant-tagged jobs, so untenanted runs are untouched.
+_TENANT_SPREAD_PENALTY = 1.0
+
 
 class FleetShard:
     """A fleet partition: some QPUs, one policy, one pending queue."""
@@ -135,6 +141,10 @@ class FleetShard:
         backlog = sum(b.waiting_seconds(now) for b in self.backends)
         return len(self.pending) + backlog / _BACKLOG_SECONDS_PER_JOB
 
+    def tenant_pending(self, tenant_id: str) -> int:
+        """How many of ``tenant_id``'s jobs sit in this pending queue."""
+        return sum(1 for j in self.pending if j.tenant_id == tenant_id)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FleetShard(id={self.shard_id}, qpus={len(self.backends)}, "
@@ -188,15 +198,39 @@ class RoundRobinBalancer(ShardBalancer):
         return shard
 
 
+def _tenant_adjusted_load(
+    shard: FleetShard, job: QuantumJob, now: float
+) -> float:
+    """Pending load plus the tenant-spread penalty for ``job``'s tenant.
+
+    Untenanted jobs (the default) add exactly nothing — the expression
+    is never evaluated for them — so tenancy-off routing is bit-identical
+    to plain ``pending_load``.
+    """
+    load = shard.pending_load(now)
+    if job.tenant_id is not None:
+        load += _TENANT_SPREAD_PENALTY * shard.tenant_pending(job.tenant_id)
+    return load
+
+
 class LeastLoadedBalancer(ShardBalancer):
-    """Feasible shard with the least pending work; ties break on id."""
+    """Feasible shard with the least pending work; ties break on id.
+
+    Tenant-tagged jobs see each shard's load inflated by the number of
+    the *same tenant's* jobs already pending there
+    (:data:`_TENANT_SPREAD_PENALTY` per job), so one noisy tenant's
+    burst fans out across shards instead of burying a single queue.
+    """
 
     name = "least_loaded"
 
     def pick(
         self, job: QuantumJob, shards: list[FleetShard], now: float
     ) -> FleetShard:
-        return min(shards, key=lambda s: (s.pending_load(now), s.shard_id))
+        return min(
+            shards,
+            key=lambda s: (_tenant_adjusted_load(s, job, now), s.shard_id),
+        )
 
 
 class QubitFitBalancer(ShardBalancer):
@@ -204,7 +238,7 @@ class QubitFitBalancer(ShardBalancer):
 
     Narrow jobs land on narrow shards so wide shards keep capacity for
     the jobs only they can serve; among equal fits the least-loaded
-    shard wins.
+    shard wins (tenant-adjusted, like :class:`LeastLoadedBalancer`).
     """
 
     name = "qubit_fit"
@@ -216,7 +250,7 @@ class QubitFitBalancer(ShardBalancer):
             shards,
             key=lambda s: (
                 s.max_qubits - job.num_qubits,
-                s.pending_load(now),
+                _tenant_adjusted_load(s, job, now),
                 s.shard_id,
             ),
         )
@@ -283,14 +317,24 @@ class RebalancePolicy:
       QPU is wide enough) and whose policy runs a batched pending queue;
     * ties break on shard id, and queues are scanned in a fixed order,
       so identical runs produce identical migrations.
+
+    With ``tenant_aware=True``, strategies migrate the queue's
+    *most-represented tenant's* jobs first (still newest-first within
+    the tenant): the noisy tenant's backlog is what spreads, so quieter
+    tenants queued behind it keep their position.  Off by default, and
+    queues without tenant-tagged jobs always use the plain scan order,
+    so untenanted runs are bit-identical either way.
     """
 
     name = "base"
 
-    def __init__(self, *, interval_seconds: float = 60.0) -> None:
+    def __init__(
+        self, *, interval_seconds: float = 60.0, tenant_aware: bool = False
+    ) -> None:
         if interval_seconds <= 0:
             raise ValueError("interval_seconds must be > 0")
         self.interval_seconds = interval_seconds
+        self.tenant_aware = tenant_aware
 
     def rebalance(
         self, shards: list[FleetShard], now: float
@@ -304,6 +348,39 @@ class RebalancePolicy:
         src.jobs_stolen_out += 1
         dst.jobs_stolen_in += 1
         return Migration(job, src, dst)
+
+    @staticmethod
+    def _dominant_tenant(pending: list[QuantumJob]) -> str | None:
+        """The tenant with the most jobs in ``pending`` (ties break on
+        the lexicographically smallest id); ``None`` when untenanted."""
+        counts: dict[str, int] = {}
+        for job in pending:
+            if job.tenant_id is not None:
+                counts[job.tenant_id] = counts.get(job.tenant_id, 0) + 1
+        if not counts:
+            return None
+        return min(counts, key=lambda tid: (-counts[tid], tid))
+
+    def _tenant_scan_order(self, pending: list[QuantumJob]) -> list[int] | None:
+        """Scan order for a tenant-aware drain of ``pending``.
+
+        The dominant tenant's jobs come first (newest-first within the
+        tenant), then everyone else newest-first.  ``None`` — meaning
+        "use the plain scan" — when the queue holds no tenant-tagged
+        jobs, so untenanted queues never change behavior.
+        """
+        if not self.tenant_aware:
+            return None
+        dominant = self._dominant_tenant(pending)
+        if dominant is None:
+            return None
+        return sorted(
+            range(len(pending)),
+            key=lambda i: (
+                0 if pending[i].tenant_id == dominant else 1,
+                -i,
+            ),
+        )
 
 
 class ThresholdRebalancePolicy(RebalancePolicy):
@@ -321,9 +398,15 @@ class ThresholdRebalancePolicy(RebalancePolicy):
     name = "threshold"
 
     def __init__(
-        self, *, min_gap: int = 4, interval_seconds: float = 60.0
+        self,
+        *,
+        min_gap: int = 4,
+        interval_seconds: float = 60.0,
+        tenant_aware: bool = False,
     ) -> None:
-        super().__init__(interval_seconds=interval_seconds)
+        super().__init__(
+            interval_seconds=interval_seconds, tenant_aware=tenant_aware
+        )
         if min_gap < 2:
             raise ValueError("min_gap must be >= 2 (a 1-job gap ping-pongs)")
         self.min_gap = min_gap
@@ -385,14 +468,28 @@ class ThresholdRebalancePolicy(RebalancePolicy):
                     continue
                 cap = max(width[s.shard_id] for s in eligible)
                 sid = src.shard_id
-                if sid not in scan_cap or cap > scan_cap[sid]:
-                    # First scan, or a wider destination became eligible:
-                    # previously skipped jobs may fit now — rescan from
-                    # the tail (just-received jobs up there are skipped
-                    # in O(1) each via ``moved_ids``).
-                    scan_pos[sid] = len(src.pending) - 1
-                scan_cap[sid] = cap
-                for i in range(scan_pos[sid], -1, -1):
+                # Tenant-aware mode drains the dominant tenant's jobs
+                # first; the order depends on the queue's current tenant
+                # mix, so it is recomputed per move and the resumable
+                # scan state is dropped (a later plain scan of the same
+                # source restarts from the tail).  ``None`` — including
+                # every untenanted queue — keeps the fast resumable path.
+                tenant_order = self._tenant_scan_order(src.pending)
+                if tenant_order is None:
+                    if sid not in scan_cap or cap > scan_cap[sid]:
+                        # First scan, or a wider destination became
+                        # eligible: previously skipped jobs may fit now —
+                        # rescan from the tail (just-received jobs up
+                        # there are skipped in O(1) each via
+                        # ``moved_ids``).
+                        scan_pos[sid] = len(src.pending) - 1
+                    scan_cap[sid] = cap
+                    order = range(scan_pos[sid], -1, -1)
+                else:
+                    scan_pos.pop(sid, None)
+                    scan_cap.pop(sid, None)
+                    order = tenant_order
+                for i in order:
                     job = src.pending[i]
                     if job.job_id in moved_ids:
                         continue
@@ -409,11 +506,13 @@ class ThresholdRebalancePolicy(RebalancePolicy):
                     moved_ids.add(job.job_id)
                     moves.append(self._move(src, i, dst))
                     received[dst] = received.get(dst, 0) + 1
-                    scan_pos[sid] = i - 1
+                    if tenant_order is None:
+                        scan_pos[sid] = i - 1
                     moved = True
                     break
                 else:
-                    scan_pos[sid] = -1  # queue exhausted under this cap
+                    if tenant_order is None:
+                        scan_pos[sid] = -1  # queue exhausted under this cap
                 if moved:
                     break
             if not moved:
@@ -448,8 +547,11 @@ class StealHalfRebalancePolicy(RebalancePolicy):
         idle_threshold: int = 0,
         min_victim_depth: int = 4,
         interval_seconds: float = 60.0,
+        tenant_aware: bool = False,
     ) -> None:
-        super().__init__(interval_seconds=interval_seconds)
+        super().__init__(
+            interval_seconds=interval_seconds, tenant_aware=tenant_aware
+        )
         if min_victim_depth < 2:
             raise ValueError("min_victim_depth must be >= 2")
         self.idle_threshold = idle_threshold
@@ -491,19 +593,37 @@ class StealHalfRebalancePolicy(RebalancePolicy):
                 candidates, key=lambda s: (len(s.pending), -s.shard_id)
             )
             want = len(victim.pending) // 2
-            indices = [
-                i
-                for i in range(len(victim.pending) - 1, -1, -1)
-                if victim.pending[i].num_qubits <= thief_width
-            ][:want]
+            # Tenant-aware steals drain the victim's dominant tenant
+            # first (the noisy backlog is what spreads); untenanted
+            # queues always take the plain newest-first path, keeping
+            # tenancy-off runs bit-identical.
+            tenant_order = self._tenant_scan_order(victim.pending)
+            if tenant_order is None:
+                indices = [
+                    i
+                    for i in range(len(victim.pending) - 1, -1, -1)
+                    if victim.pending[i].num_qubits <= thief_width
+                ][:want]
+            else:
+                indices = [
+                    i
+                    for i in tenant_order
+                    if victim.pending[i].num_qubits <= thief_width
+                ][:want]
             for i in sorted(indices, reverse=True):  # pop back to front
                 moves.append(self._move(victim, i, thief))
-            # Popping newest-first appended in reverse; restore arrival
-            # order among the stolen tail.
+            # Popping descending indices appended the stolen jobs in
+            # reverse queue order; restore the victim's relative order
+            # (plain path) or arrival order (tenant path, where the
+            # picked index set is not contiguous in queue order).
             if indices:
                 receivers.add(thief.shard_id)
                 tail = thief.pending[-len(indices):]
-                thief.pending[-len(indices):] = tail[::-1]
+                if tenant_order is None:
+                    thief.pending[-len(indices):] = tail[::-1]
+                else:
+                    tail.sort(key=lambda j: (j.arrival_time, j.job_id))
+                    thief.pending[-len(indices):] = tail
         return moves
 
 

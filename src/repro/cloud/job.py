@@ -5,11 +5,15 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.metrics import CircuitMetrics, compute_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tenancy import Tenant
 
 __all__ = ["JobStatus", "QuantumJob", "HybridApplication", "feasibility_matrix"]
 
@@ -36,6 +40,8 @@ class JobStatus(str, Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    #: Shed at the front door (rate limit / queue quota) — never routed.
+    REJECTED = "rejected"
 
 
 @dataclass
@@ -53,6 +59,13 @@ class QuantumJob:
     benchmark: str = "unknown"
     circuit: Circuit | None = None
     job_id: int = field(default_factory=lambda: next(_job_ids))
+    #: Multi-tenancy (see :mod:`repro.cloud.tenancy`): the owning tenant
+    #: (``None`` for untenanted runs — the default, which bypasses the
+    #: front door entirely) and the degraded-to-best-effort flag an
+    #: :class:`~repro.cloud.tenancy.AdmissionController` sets on
+    #: queue-quota breaches.
+    tenant: "Tenant | None" = None
+    best_effort: bool = False
 
     # Lifecycle (filled in by the simulator / job manager):
     status: JobStatus = JobStatus.PENDING
@@ -87,6 +100,10 @@ class QuantumJob:
         return self.metrics.num_qubits
 
     @property
+    def tenant_id(self) -> str | None:
+        return self.tenant.tenant_id if self.tenant is not None else None
+
+    @property
     def completion_time(self) -> float | None:
         """JCT: arrival -> finish (paper's metric (1))."""
         if self.finish_time is None:
@@ -119,6 +136,10 @@ class HybridApplication:
     @property
     def uses_mitigation(self) -> bool:
         return self.quantum_job.mitigation != "none"
+
+    @property
+    def tenant(self) -> "Tenant | None":
+        return self.quantum_job.tenant
 
     @property
     def completion_time(self) -> float | None:

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..workloads.suite import WorkloadSampler
 from .job import HybridApplication, QuantumJob
+from .tenancy import TenantShare
 
 __all__ = ["LoadGenerator", "diurnal_rate", "IBM_MEAN_RATE", "IBM_RATE_BAND"]
 
@@ -98,6 +99,12 @@ class LoadGenerator:
     burst_rate_multiplier: float = 6.0
     mean_burst_seconds: float = 120.0
     mean_calm_seconds: float = 600.0
+    #: Optional multi-tenant mix (see :mod:`repro.cloud.tenancy`): each
+    #: arrival is stamped with a tenant drawn by share from this tuple of
+    #: :class:`TenantShare` entries.  Tenant draws come from a dedicated
+    #: RNG substream, so ``tenants=None`` (the default) draws exactly the
+    #: random stream it always did and stays bit-identical.
+    tenants: tuple[TenantShare, ...] | None = None
     seed: int = 0
 
     def _make_sampler(self) -> WorkloadSampler:
@@ -127,6 +134,18 @@ class LoadGenerator:
             )
         rng = np.random.default_rng(self.seed)
         sampler = self._make_sampler()
+        # Tenant stamping draws from its own substream: the job/arrival
+        # streams above never see these draws, so a tenanted run carries
+        # the exact same circuits at the exact same times as the
+        # untenanted run it is compared against.
+        tenant_rng: np.random.Generator | None = None
+        tenant_p: np.ndarray | None = None
+        if self.tenants:
+            shares = np.array([t.share for t in self.tenants], dtype=float)
+            tenant_p = shares / shares.sum()
+            tenant_rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(self.seed, 0x7E4A47))
+            )
         pool: list[QuantumJob] | None = None
         if self.circuit_pool_size:
             pool = [
@@ -189,6 +208,9 @@ class LoadGenerator:
                 )
             else:
                 job = self._build_job(sampler.sample(), rng)
+            if tenant_rng is not None:
+                pick = int(tenant_rng.choice(len(self.tenants), p=tenant_p))
+                job.tenant = self.tenants[pick].tenant
             job.arrival_time = t
             yield HybridApplication(quantum_job=job, arrival_time=t)
 

@@ -90,6 +90,23 @@ class SimulationMetrics:
     stage_seconds: dict = field(default_factory=dict)
     #: Estimate-cache counters, when the scheduling policy exposes a cache.
     estimate_cache: dict = field(default_factory=dict)
+    #: Multi-tenancy accounting (see :mod:`repro.cloud.tenancy`); only
+    #: populated when jobs carry tenants / an admission controller runs.
+    #: Front-door outcomes per tenant: ``{"admitted": n, "degraded": n,
+    #: "rejected": n}`` (degraded jobs are admitted as best-effort).
+    per_tenant_admission: dict[str, dict[str, int]] = field(
+        default_factory=dict
+    )
+    #: Arrivals shed at the front door (rate limit or queue quota).
+    admission_rejected: int = 0
+    #: Arrivals degraded to best-effort on a queue-quota breach.
+    admission_degraded: int = 0
+    #: Completed-job JCTs per tenant (raw, for percentile reporting).
+    tenant_jct: dict[str, list[float]] = field(default_factory=dict)
+    #: Tenant -> contracted service tier, recorded as tenants are seen.
+    tenant_tier: dict[str, int] = field(default_factory=dict)
+    #: Completed jobs per tenant that blew their tenant's JCT SLO.
+    slo_violations: dict[str, int] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -97,9 +114,12 @@ class SimulationMetrics:
             return 0.0
         return self.events_processed / self.wall_seconds
 
-    #: Fields that measure wall-clock rather than simulated behavior;
-    #: everything else must be bit-identical across seeded re-runs and
-    #: across cycle-executor backends.
+    #: The **exclusion allowlist** of ``deterministic_state``: the only
+    #: fields allowed to differ between two runs of the same seeded
+    #: scenario, because they measure wall-clock rather than simulated
+    #: behavior.  Every other field — including any field added later —
+    #: is compared by default; a name listed here that is not a real
+    #: field is an error (it would silently exclude nothing).
     TIMING_FIELDS = ("wall_seconds", "stage_seconds")
 
     def deterministic_state(self) -> dict:
@@ -108,7 +128,19 @@ class SimulationMetrics:
         Two runs of the same seeded scenario — serial or parallel, any
         executor backend — must produce equal ``deterministic_state()``
         dicts.  ``TimeSeries`` fields compare as (times, values) tuples.
+        New fields are included automatically: only the explicit
+        ``TIMING_FIELDS`` allowlist is excluded, and the allowlist is
+        validated against the actual field set so a typo'd or stale
+        entry fails loudly instead of silently comparing nothing.
         """
+        fields_present = set(vars(self))
+        unknown = set(self.TIMING_FIELDS) - fields_present
+        if unknown:
+            raise AttributeError(
+                "TIMING_FIELDS names absent from SimulationMetrics: "
+                f"{sorted(unknown)} — the exclusion allowlist must list "
+                "real fields only"
+            )
         state = {}
         for name, value in vars(self).items():
             if name in self.TIMING_FIELDS:
@@ -124,6 +156,61 @@ class SimulationMetrics:
                 }
             state[name] = value
         return state
+
+    # -- multi-tenancy reporting ---------------------------------------
+    def jain_fairness(self) -> float:
+        """Jain's index over per-tenant mean JCT (1.0 = perfectly fair)."""
+        from .tenancy import jain_index
+
+        means = [
+            float(np.mean(v)) for v in self.tenant_jct.values() if v
+        ]
+        return jain_index(means)
+
+    def tenant_report(self) -> dict:
+        """Per-tenant and per-tier JCT percentiles, fairness, and SLOs.
+
+        Empty when the run carried no tenants.  Percentiles are over the
+        completed jobs' JCTs; tiers aggregate every tenant contracted at
+        that tier.
+        """
+        if not self.tenant_jct:
+            return {}
+        per_tenant = {}
+        by_tier: dict[int, list[float]] = {}
+        for tid in sorted(self.tenant_jct):
+            values = self.tenant_jct[tid]
+            tier = self.tenant_tier.get(tid)
+            if tier is not None:
+                by_tier.setdefault(tier, []).extend(values)
+            per_tenant[tid] = {
+                "tier": tier,
+                "completed": len(values),
+                "mean_jct": round(float(np.mean(values)), 3),
+                "p50_jct": round(float(np.percentile(values, 50)), 3),
+                "p95_jct": round(float(np.percentile(values, 95)), 3),
+                "p99_jct": round(float(np.percentile(values, 99)), 3),
+                "slo_violations": self.slo_violations.get(tid, 0),
+                "admission": dict(
+                    self.per_tenant_admission.get(tid, {})
+                ),
+            }
+        per_tier = {
+            tier: {
+                "completed": len(values),
+                "mean_jct": round(float(np.mean(values)), 3),
+                "p95_jct": round(float(np.percentile(values, 95)), 3),
+            }
+            for tier, values in sorted(by_tier.items())
+        }
+        return {
+            "per_tenant": per_tenant,
+            "per_tier": per_tier,
+            "jain_fairness": round(self.jain_fairness(), 4),
+            "admission_rejected": self.admission_rejected,
+            "admission_degraded": self.admission_degraded,
+            "slo_violations": sum(self.slo_violations.values()),
+        }
 
     def summary(self) -> dict:
         loads = list(self.per_qpu_busy_seconds.values())
@@ -150,6 +237,8 @@ class SimulationMetrics:
             "per_shard_steals": dict(self.per_shard_steals),
             "outage_events": self.outage_events,
             "recovery_events": self.recovery_events,
+            "admission_rejected": self.admission_rejected,
+            "admission_degraded": self.admission_degraded,
             "mean_fidelity": self.mean_fidelity.mean(),
             "final_mean_jct": self.mean_completion_time.last(),
             "mean_utilization": self.mean_utilization.mean(),

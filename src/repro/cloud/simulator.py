@@ -81,6 +81,7 @@ from .fleet import (
 )
 from .job import HybridApplication, JobStatus
 from .metrics import SimulationMetrics, TimeSeries
+from .tenancy import AdmissionController, AdmissionDecision
 
 __all__ = ["CloudSimulator", "SimulationConfig", "EventType"]
 
@@ -141,6 +142,7 @@ class CloudSimulator:
         rebalance: str | RebalancePolicy | None = None,
         availability: AvailabilityModel | None = None,
         cycle_executor: str | CycleExecutor | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.execution_model = execution_model or ExecutionModel(
@@ -170,6 +172,10 @@ class CloudSimulator:
             make_rebalancer(rebalance) if rebalance is not None else None
         )
         self.availability = availability
+        # The multi-tenant front door (see repro.cloud.tenancy).  ``None``
+        # — the default — bypasses admission entirely, as do untenanted
+        # jobs under a controller, so tenancy-off runs stay bit-identical.
+        self.admission = admission
         # The backend for concurrently-due scheduling cycles.  ``None``
         # consults the CYCLE_EXECUTOR environment variable and falls back
         # to serial; every backend is bit-identical by contract, so the
@@ -192,6 +198,7 @@ class CloudSimulator:
         rebalance: str | RebalancePolicy | None = None,
         availability: AvailabilityModel | None = None,
         cycle_executor: str | CycleExecutor | None = None,
+        admission: AdmissionController | None = None,
     ) -> "CloudSimulator":
         """Partition ``fleet`` into ``num_shards`` shards.
 
@@ -222,6 +229,7 @@ class CloudSimulator:
             rebalance=rebalance,
             availability=availability,
             cycle_executor=cycle_executor,
+            admission=admission,
         )
 
     # -- single-shard compatibility views ------------------------------
@@ -253,6 +261,8 @@ class CloudSimulator:
         apps_by_job: dict,
         on_finish,
     ) -> None:
+        if self.admission is not None:
+            self.admission.track_dequeued(job)
         backend = next(b for b in shard.backends if b.name == qpu_name)
         record = backend.execute(job, now, self.execution_model, self._rng)
         # Dispatch != completion: the job is only *completed* when its
@@ -268,9 +278,26 @@ class CloudSimulator:
             on_finish(app)
 
     def _fail(self, job, metrics, apps_by_job) -> None:
+        if self.admission is not None:
+            self.admission.track_dequeued(job)
         job.status = JobStatus.FAILED
         metrics.unschedulable_jobs += 1
         apps_by_job.pop(job.job_id, None)
+
+    def _record_admission(
+        self, job, decision: AdmissionDecision, metrics: SimulationMetrics
+    ) -> None:
+        bucket = metrics.per_tenant_admission.setdefault(
+            job.tenant_id, {"admitted": 0, "degraded": 0, "rejected": 0}
+        )
+        if decision.action == "reject":
+            bucket["rejected"] += 1
+            metrics.admission_rejected += 1
+        elif decision.action == "degrade":
+            bucket["degraded"] += 1
+            metrics.admission_degraded += 1
+        else:
+            bucket["admitted"] += 1
 
     def _run_cycles(
         self,
@@ -525,6 +552,20 @@ class CloudSimulator:
             done_jct_sum += app.completion_time
             done_jct_count += 1
             metrics.completed_jobs += 1
+            # Per-tenant JCT / SLO accounting (tenant-tagged jobs only,
+            # so untenanted runs never touch these dicts).
+            job = app.quantum_job
+            if job.tenant is not None:
+                tid = job.tenant.tenant_id
+                metrics.tenant_jct.setdefault(tid, []).append(
+                    app.completion_time
+                )
+                metrics.tenant_tier.setdefault(tid, job.tenant.tier)
+                slo = job.tenant.slo_jct_seconds
+                if slo is not None and app.completion_time > slo:
+                    metrics.slo_violations[tid] = (
+                        metrics.slo_violations.get(tid, 0) + 1
+                    )
 
         def on_finish(app: HybridApplication) -> None:
             push(app.finish_time, EventType.COMPLETION, app)
@@ -627,6 +668,19 @@ class CloudSimulator:
                 if nxt is not None:
                     push(nxt.arrival_time, EventType.ARRIVAL, nxt)
                 job = app.quantum_job
+                # The multi-tenant front door: tenant-tagged arrivals are
+                # checked against their contract *before* routing.  A
+                # rejection sheds the job at the API edge (it is never
+                # queued, dispatched, or counted in-flight); a degrade
+                # admits it as best-effort.
+                if self.admission is not None and job.tenant is not None:
+                    decision = self.admission.admit(job, now)
+                    self._record_admission(job, decision, metrics)
+                    if not decision.admitted:
+                        job.status = JobStatus.REJECTED
+                        continue
+                    if decision.action == "degrade":
+                        job.best_effort = True
                 job.status = JobStatus.QUEUED
                 apps_by_job[job.job_id] = app
                 metrics.peak_inflight_apps = max(
@@ -636,6 +690,8 @@ class CloudSimulator:
                 shard.jobs_routed += 1
                 if shard.is_batched:
                     shard.pending.append(job)
+                    if self.admission is not None:
+                        self.admission.track_queued(job)
                     fire_if_ready(shard, now)
                 else:
                     self._schedule_immediate(

@@ -1,0 +1,315 @@
+"""The multi-tenant front door: tenants, tiers, and admission control.
+
+The paper stops at per-job priorities (Fig. 10b); a cloud serving
+millions of users needs *tenants*.  This module adds the three pieces
+that sit between the load generator and the fleet layer:
+
+* :class:`Tenant` — identity plus contract: a service **tier** (0 is the
+  premium tier), an optional token-bucket **rate limit**, an optional
+  fleet-wide pending **queue-depth quota**, and an optional JCT **SLO**.
+  Jobs carry their tenant; everything downstream (balancers, policies,
+  metrics) reads it from the job.
+* :class:`AdmissionController` — the front door.  Every tenant-tagged
+  arrival is checked against its tenant's token bucket (refilled at the
+  contracted rate, burst-bounded) and its fleet-wide pending-queue
+  quota.  Rate-limited jobs are **rejected** outright, exactly like real
+  QPU clouds shedding load at the API edge; quota breaches either
+  **degrade** the job to best-effort (it keeps running, at the back of
+  every tier-ordered batch) or reject it, per ``quota_action``.
+* Tier-weighted scheduling helpers — :func:`tier_sort` orders a batch by
+  effective tier (premium first, best-effort last) while preserving
+  arrival order within a tier, and :func:`tier_preference` maps the
+  most-premium tier present in a batch onto an MCDM preference vector so
+  the Qonductor selection stage leans toward JCT when premium work is
+  waiting.
+
+Everything here is opt-in and deterministic.  A run without tenants (no
+``tenants=`` mix on the load generator, no controller on the simulator)
+takes none of these code paths and stays **bit-identical** to the
+pre-tenancy simulator — enforced by ``tests/test_tenancy.py`` through
+the shared determinism harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BEST_EFFORT_TIER",
+    "Tenant",
+    "TenantShare",
+    "AdmissionDecision",
+    "AdmissionController",
+    "effective_tier",
+    "tier_sort",
+    "tier_preference",
+    "jain_index",
+    "abusive_mix",
+]
+
+#: Effective tier assigned to degraded (best-effort) jobs: below every
+#: contracted tier, so they sort to the back of any tier-ordered batch.
+BEST_EFFORT_TIER = 99
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's identity and service contract.
+
+    ``tier`` 0 is the premium tier; larger numbers are cheaper tiers.
+    ``rate_limit_per_hour`` bounds the tenant's sustained admission rate
+    (token bucket, ``burst`` tokens deep); ``queue_quota`` bounds how
+    many of the tenant's jobs may sit pending fleet-wide at once.
+    ``None`` disables the corresponding check.
+    """
+
+    tenant_id: str
+    tier: int = 1
+    rate_limit_per_hour: float | None = None
+    burst: int = 10
+    queue_quota: int | None = None
+    slo_jct_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.tier < 0:
+            raise ValueError("tier must be >= 0")
+        if self.rate_limit_per_hour is not None and self.rate_limit_per_hour <= 0:
+            raise ValueError("rate_limit_per_hour must be > 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.queue_quota is not None and self.queue_quota < 1:
+            raise ValueError("queue_quota must be >= 1")
+
+
+@dataclass(frozen=True)
+class TenantShare:
+    """One entry of a load generator tenant mix: who, and how much."""
+
+    tenant: Tenant
+    share: float
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ValueError("share must be > 0")
+
+
+def abusive_mix(
+    *,
+    num_normal: int = 3,
+    abuser_share: float = 0.5,
+    abuser_rate_limit_per_hour: float | None = None,
+    abuser_queue_quota: int | None = 20,
+    normal_slo_seconds: float | None = None,
+) -> tuple[TenantShare, ...]:
+    """The noisy-neighbor stress mix: one abusive tenant vs normal ones.
+
+    ``num_normal`` well-behaved tenants (tenant-0 premium, the rest
+    tier 1) split the non-abusive share evenly; the ``abuser`` (tier 2)
+    floods ``abuser_share`` of all arrivals.  The abuser's contract
+    carries the rate limit / queue quota an admission controller would
+    enforce — without a controller the contract is dead letter, which is
+    exactly the comparison the tenant studies run.
+    """
+    if not 0.0 < abuser_share < 1.0:
+        raise ValueError("abuser_share must be in (0, 1)")
+    normal_share = (1.0 - abuser_share) / num_normal
+    shares = [
+        TenantShare(
+            Tenant(
+                f"tenant-{i}",
+                tier=0 if i == 0 else 1,
+                slo_jct_seconds=normal_slo_seconds,
+            ),
+            normal_share,
+        )
+        for i in range(num_normal)
+    ]
+    shares.append(
+        TenantShare(
+            Tenant(
+                "abuser",
+                tier=2,
+                rate_limit_per_hour=abuser_rate_limit_per_hour,
+                queue_quota=abuser_queue_quota,
+            ),
+            abuser_share,
+        )
+    )
+    return tuple(shares)
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one front-door check."""
+
+    action: str  # "admit" | "degrade" | "reject"
+    reason: str = "ok"  # "ok" | "rate_limit" | "queue_quota"
+
+    @property
+    def admitted(self) -> bool:
+        return self.action != "reject"
+
+
+class AdmissionController:
+    """Token-bucket rate limiting + queue-depth quotas, per tenant.
+
+    The controller sits between arrivals and the shard balancer: the
+    simulator asks :meth:`admit` for every tenant-tagged arrival before
+    routing it.  Two independent checks, in order:
+
+    1. **Rate limit** — each tenant with a ``rate_limit_per_hour`` owns a
+       token bucket of depth ``burst`` refilled continuously at the
+       contracted rate; an arrival with no token available is rejected
+       (the API-edge shed of real QPU clouds).
+    2. **Queue quota** — a tenant with ``queue_quota`` may hold at most
+       that many jobs pending (admitted, not yet dispatched) fleet-wide;
+       a breach either degrades the job to best-effort
+       (``quota_action="degrade"``, the default — it runs, but behind
+       every contracted tier) or rejects it (``quota_action="reject"``).
+
+    Jobs without a tenant bypass the front door entirely.  All state is
+    a deterministic function of the admission/dequeue call sequence, so
+    seeded simulations reproduce bit-for-bit.
+    """
+
+    def __init__(self, *, quota_action: str = "degrade") -> None:
+        if quota_action not in ("degrade", "reject"):
+            raise ValueError("quota_action must be 'degrade' or 'reject'")
+        self.quota_action = quota_action
+        # Token buckets: tenant_id -> [tokens, last_refill_time].
+        self._buckets: dict[str, list[float]] = {}
+        # Fleet-wide pending-queue depth per tenant, maintained by the
+        # simulator via track_queued/track_dequeued.
+        self._pending: dict[str, int] = {}
+        self._queued_ids: set[int] = set()
+
+    # -- checks --------------------------------------------------------
+    def admit(self, job, now: float) -> AdmissionDecision:
+        """Front-door check for one arrival (tenant-tagged jobs only)."""
+        tenant: Tenant | None = job.tenant
+        if tenant is None:
+            return AdmissionDecision("admit")
+        if tenant.rate_limit_per_hour is not None and not self._take_token(
+            tenant, now
+        ):
+            return AdmissionDecision("reject", "rate_limit")
+        if (
+            tenant.queue_quota is not None
+            and self._pending.get(tenant.tenant_id, 0) >= tenant.queue_quota
+        ):
+            return AdmissionDecision(self.quota_action, "queue_quota")
+        return AdmissionDecision("admit")
+
+    def _take_token(self, tenant: Tenant, now: float) -> bool:
+        bucket = self._buckets.get(tenant.tenant_id)
+        if bucket is None:
+            # A fresh bucket starts full: a tenant's first burst is never
+            # penalized for history it does not have.
+            bucket = [float(tenant.burst), now]
+            self._buckets[tenant.tenant_id] = bucket
+        tokens, last = bucket
+        rate = tenant.rate_limit_per_hour / 3600.0
+        tokens = min(float(tenant.burst), tokens + (now - last) * rate)
+        if tokens < 1.0:
+            bucket[0] = tokens
+            bucket[1] = now
+            return False
+        bucket[0] = tokens - 1.0
+        bucket[1] = now
+        return True
+
+    # -- pending-depth accounting (driven by the simulator) ------------
+    def track_queued(self, job) -> None:
+        """An admitted job entered a shard's pending queue."""
+        if job.tenant is None or job.job_id in self._queued_ids:
+            return
+        self._queued_ids.add(job.job_id)
+        tid = job.tenant.tenant_id
+        self._pending[tid] = self._pending.get(tid, 0) + 1
+
+    def track_dequeued(self, job) -> None:
+        """A tracked job left the pending state (dispatched or failed)."""
+        if job.job_id not in self._queued_ids:
+            return
+        self._queued_ids.discard(job.job_id)
+        tid = job.tenant.tenant_id
+        self._pending[tid] -= 1
+        if self._pending[tid] <= 0:
+            del self._pending[tid]
+
+    def pending_depth(self, tenant_id: str) -> int:
+        return self._pending.get(tenant_id, 0)
+
+
+# ---------------------------------------------------------------------------
+# Tier-weighted scheduling helpers
+# ---------------------------------------------------------------------------
+
+def effective_tier(job) -> int:
+    """A job's scheduling tier: degraded jobs fall to best-effort."""
+    if getattr(job, "best_effort", False):
+        return BEST_EFFORT_TIER
+    tenant = getattr(job, "tenant", None)
+    return tenant.tier if tenant is not None else BEST_EFFORT_TIER
+
+
+def tier_sort(jobs: list) -> list:
+    """Batch order for tier-weighted scheduling.
+
+    Premium tiers first, best-effort last, arrival order preserved
+    within a tier (the sort is stable over the incoming order).  When no
+    job in the batch carries a tenant the input list is returned
+    *unchanged* — same object, no reordering — so tenancy-off runs take
+    a provably identical path.
+    """
+    if not any(
+        getattr(j, "tenant", None) is not None
+        or getattr(j, "best_effort", False)
+        for j in jobs
+    ):
+        return jobs
+    return sorted(jobs, key=effective_tier)
+
+
+def tier_preference(jobs: list, tier_preferences: dict | None):
+    """MCDM preference override for a batch, from its most-premium tier.
+
+    ``tier_preferences`` maps tier -> preference (a name from
+    :data:`repro.moo.mcdm.PREFERENCES` or an explicit vector).  The
+    batch is scheduled under the preference of the best (lowest) tier
+    present — premium work waiting pulls the whole cycle toward its
+    preference.  Returns ``None`` (keep the operator default) when the
+    mapping is unset or no tiered job is present.
+    """
+    if not tier_preferences:
+        return None
+    tiers = [
+        j.tenant.tier
+        for j in jobs
+        if getattr(j, "tenant", None) is not None
+        and not getattr(j, "best_effort", False)
+    ]
+    if not tiers:
+        return None
+    return tier_preferences.get(min(tiers))
+
+
+def jain_index(values) -> float:
+    """Jain's fairness index over per-tenant allocations: (Σx)²/(n·Σx²).
+
+    1.0 is perfectly fair; 1/n means one tenant holds everything.
+    Empty or all-zero inputs return 1.0 (nothing to be unfair about).
+    """
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return 1.0
+    denom = x.size * float((x**2).sum())
+    if denom <= 0.0:
+        return 1.0
+    return float(x.sum()) ** 2 / denom

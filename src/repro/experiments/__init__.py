@@ -17,6 +17,7 @@ from .fig9 import (
 from .rebalance import rebalance_study
 from .report import run_all
 from .table1 import table1_pricing
+from .tenant import tenant_study
 
 __all__ = [
     "fig2a_circuit_cutting",
@@ -36,4 +37,5 @@ __all__ = [
     "table1_pricing",
     "rebalance_study",
     "run_all",
+    "tenant_study",
 ]

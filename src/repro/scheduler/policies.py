@@ -25,6 +25,7 @@ import numpy as np
 
 from ..backends.qpu import QPU
 from ..cloud.job import QuantumJob, feasibility_matrix
+from ..cloud.tenancy import tier_sort
 
 __all__ = [
     "FCFSPolicy",
@@ -125,6 +126,11 @@ class BatchedFCFSPolicy(FCFSPolicy):
     The per-job decision rule is exactly FCFS (highest-fidelity feasible
     online QPU, arrival order preserved), so it remains a *baseline* —
     just one that can be driven at fleet scale without NSGA-II cost.
+
+    Tenant-tagged batches are served in **tier order** (premium tiers
+    first, degraded best-effort jobs last, arrival order within a tier);
+    untenanted batches pass through :func:`~repro.cloud.tenancy.tier_sort`
+    unchanged, keeping tenancy-off runs bit-identical.
     """
 
     name = "fcfs_batched"
@@ -135,6 +141,7 @@ class BatchedFCFSPolicy(FCFSPolicy):
         qpus: list[QPU],
         waiting_seconds: dict[str, float] | None = None,
     ) -> BatchSchedule:
+        jobs = tier_sort(jobs)
         decisions: list[BatchDecision] = []
         unschedulable: list[QuantumJob] = []
         for job, qpu_name in self.assign(jobs, qpus, waiting_seconds or {}):

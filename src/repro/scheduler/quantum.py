@@ -32,6 +32,7 @@ import numpy as np
 
 from ..backends.qpu import QPU
 from ..cloud.job import QuantumJob, feasibility_matrix
+from ..cloud.tenancy import tier_preference, tier_sort
 from ..moo import select_by_preference
 from .cycle import OptimizationResult, OptimizationTask, run_optimization
 from .formulation import SchedulingInput, assignment_stats
@@ -120,9 +121,16 @@ class QonductorScheduler:
         seed: int = 0,
         shard_id: int = 0,
         on_recalibrate: Callable[[list[QPU]], None] | None = None,
+        tier_preferences: dict | None = None,
     ) -> None:
         self.estimate_fn = estimate_fn
         self.preference = preference
+        #: Optional tier -> MCDM preference mapping for tenant-weighted
+        #: selection (see :func:`~repro.cloud.tenancy.tier_preference`):
+        #: when a batch carries tenants, the most-premium tier present
+        #: overrides ``preference`` for that cycle.  ``None`` (default)
+        #: always uses the operator preference.
+        self.tier_preferences = tier_preferences
         self.pop_size = pop_size
         self.max_generations = max_generations
         self._seed = seed
@@ -148,6 +156,7 @@ class QonductorScheduler:
             seed=self._seed,
             shard_id=shard_id,
             on_recalibrate=self._on_recalibrate,
+            tier_preferences=self.tier_preferences,
         )
 
     def on_recalibration(self, qpus: list[QPU]) -> None:
@@ -217,6 +226,10 @@ class QonductorScheduler:
         """
         self._cycle += 1
         waiting_seconds = waiting_seconds or {}
+        # Tier-weighted batches: premium tiers first, best-effort last
+        # (stable within a tier).  Untenanted batches come back as the
+        # *same list object*, so tenancy-off cycles are bit-identical.
+        jobs = tier_sort(jobs)
         online = [q for q in qpus if q.online]
         t0 = time.perf_counter()
         data, schedulable, rejected = self.preprocess(jobs, qpus, waiting_seconds)
@@ -265,7 +278,13 @@ class QonductorScheduler:
         online = plan.online
 
         t0 = time.perf_counter()
-        chosen = select_by_preference(result.F, self.preference)
+        # The most-premium tier waiting in this batch may override the
+        # operator preference (None — the default, and every untenanted
+        # batch — keeps it).
+        override = tier_preference(plan.schedulable, self.tier_preferences)
+        chosen = select_by_preference(
+            result.F, override if override is not None else self.preference
+        )
         assignment = result.X[chosen]
         t_sel = time.perf_counter() - t0
 

@@ -1,0 +1,2 @@
+"""Shared test helpers (importable as ``helpers`` — ``tests/`` is on
+``pythonpath`` via pyproject's pytest configuration)."""

@@ -224,6 +224,66 @@ class TestEstimateCache:
         assert len(cache) == 1
         assert cache.get(("fp", 4)) is not None
 
+    def test_working_set_below_capacity_never_evicts(self):
+        """A working set under ``max_entries`` reaches steady state: one
+        miss per distinct shape, every revisit a hit, no eviction churn."""
+        calls = []
+
+        def base(job, qpu):
+            calls.append(job.job_id)
+            return 0.9, 10.0
+
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        cached = CachedEstimator(base, max_entries=64)
+        pool = [
+            QuantumJob.from_circuit(ghz_linear(w), shots=1024)
+            for w in range(2, 22)  # 20 distinct shapes
+        ]
+        for _ in range(5):
+            for job in pool:
+                cached(job, qpu)
+        assert len(calls) == len(pool)  # first round only
+        assert len(cached.cache) == len(pool)
+        assert cached.stats.misses == len(pool)
+        assert cached.stats.hits == len(pool) * 4
+
+    def test_working_set_at_capacity_halves_oldest_first(self):
+        """At ``max_entries`` the generational eviction drops the oldest
+        half exactly once per overflow — the table stays bounded, the
+        newest entries survive, and evicted shapes re-miss."""
+        calls = []
+
+        def base(job, qpu):
+            calls.append(job.job_id)
+            return 0.9, 10.0
+
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        cached = CachedEstimator(base, max_entries=16)
+        pool = [
+            QuantumJob.from_circuit(ghz_linear(w), shots=1024)
+            for w in range(2, 18)  # exactly max_entries shapes
+        ]
+        for job in pool:
+            cached(job, qpu)
+        assert len(cached.cache) == 16
+        # One more distinct shape overflows: the oldest half (8) drops,
+        # then the new entry lands -> 9 entries, still bounded.
+        extra = QuantumJob.from_circuit(ghz_linear(20), shots=1024)
+        cached(extra, qpu)
+        assert len(cached.cache) == 9
+        # The newest pre-overflow shapes survived; the oldest re-miss.
+        before = len(calls)
+        cached(pool[-1], qpu)  # newest half: still cached
+        assert len(calls) == before
+        cached(pool[0], qpu)  # oldest half: evicted, re-estimated
+        assert len(calls) == before + 1
+        # However the stream churns, the bound holds.
+        for w in range(30, 60):
+            cached(
+                QuantumJob.from_circuit(ghz_linear(w), shots=1024), qpu
+            )
+            assert len(cached.cache) <= 16
+
     def test_save_load_roundtrip(self, tmp_path):
         calls = []
 

@@ -29,6 +29,13 @@ from repro.cloud import (
     make_rebalancer,
     partition_fleet,
 )
+from helpers.determinism import (
+    SERIES,
+    assert_series_identical,
+    fake_estimate,
+    make_job,
+    make_shards,
+)
 from repro.experiments.common import trained_estimator
 from repro.scheduler import (
     BatchedFCFSPolicy,
@@ -36,35 +43,6 @@ from repro.scheduler import (
     QonductorScheduler,
     SchedulingTrigger,
 )
-from repro.workloads import ghz_linear
-
-SERIES = (
-    "mean_fidelity",
-    "mean_completion_time",
-    "mean_utilization",
-    "scheduler_queue_size",
-)
-
-
-def _fake_estimate(job, qpu):
-    return 0.5 + 0.4 / (1 + job.num_qubits + len(qpu.name)), 12.0
-
-
-def _job(width: int) -> QuantumJob:
-    return QuantumJob.from_circuit(ghz_linear(width), keep_circuit=False)
-
-
-def _shards(widths_per_shard, policy=None):
-    """Shards over slices of the default fleet, one per width bucket."""
-    shards = []
-    for i, names in enumerate(widths_per_shard):
-        backends = [
-            SimulatedQPU(q) for q in default_fleet(seed=7, names=list(names))
-        ]
-        shards.append(
-            FleetShard(i, backends, policy or FCFSPolicy(_fake_estimate))
-        )
-    return shards
 
 
 class TestPartition:
@@ -93,61 +71,61 @@ class TestPartition:
 
 class TestBalancers:
     def test_round_robin_deterministic_cycle(self):
-        shards = _shards([["auckland"], ["hanoi"], ["cairo"]])
+        shards = make_shards([["auckland"], ["hanoi"], ["cairo"]])
         routed = [
             RoundRobinBalancer(), RoundRobinBalancer()
         ]
         seqs = []
         for balancer in routed:
             seqs.append(
-                [balancer.route(_job(5), shards, 0.0).shard_id
+                [balancer.route(make_job(5), shards, 0.0).shard_id
                  for _ in range(7)]
             )
         assert seqs[0] == seqs[1] == [0, 1, 2, 0, 1, 2, 0]
 
     def test_round_robin_skips_infeasible(self):
         # lagos/nairobi are 7q; auckland is 27q -> wide jobs all on shard 0.
-        shards = _shards([["auckland"], ["lagos"], ["nairobi"]])
+        shards = make_shards([["auckland"], ["lagos"], ["nairobi"]])
         balancer = RoundRobinBalancer()
-        picks = [balancer.route(_job(16), shards, 0.0).shard_id
+        picks = [balancer.route(make_job(16), shards, 0.0).shard_id
                  for _ in range(4)]
         assert picks == [0, 0, 0, 0]
 
     def test_least_loaded_monotonic_spread(self):
         """Routing identical jobs into pending queues visits every shard
         before revisiting any (load grows monotonically with each route)."""
-        scheduler = QonductorScheduler(_fake_estimate, seed=0)
-        shards = _shards(
+        scheduler = QonductorScheduler(fake_estimate, seed=0)
+        shards = make_shards(
             [["auckland"], ["hanoi"], ["cairo"], ["kolkata"]],
             policy=scheduler,
         )
         balancer = LeastLoadedBalancer()
         picks = []
         for _ in range(8):
-            shard = balancer.route(_job(5), shards, 0.0)
-            shard.pending.append(_job(5))  # what the simulator does
+            shard = balancer.route(make_job(5), shards, 0.0)
+            shard.pending.append(make_job(5))  # what the simulator does
             picks.append(shard.shard_id)
         assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
 
     def test_least_loaded_sees_device_backlog(self):
-        shards = _shards([["auckland"], ["hanoi"]])
+        shards = make_shards([["auckland"], ["hanoi"]])
         shards[0].backends[0].free_at = 500.0  # deep backlog on shard 0
-        assert LeastLoadedBalancer().route(_job(5), shards, 0.0).shard_id == 1
+        assert LeastLoadedBalancer().route(make_job(5), shards, 0.0).shard_id == 1
 
     def test_qubit_fit_never_routes_to_too_narrow_shard(self):
-        shards = _shards([["lagos"], ["guadalupe"], ["auckland"]])  # 7/16/27
+        shards = make_shards([["lagos"], ["guadalupe"], ["auckland"]])  # 7/16/27
         balancer = QubitFitBalancer()
         rng = np.random.default_rng(0)
         for width in rng.integers(2, 28, size=40):
-            shard = balancer.route(_job(int(width)), shards, 0.0)
+            shard = balancer.route(make_job(int(width)), shards, 0.0)
             assert shard.max_qubits >= width
 
     def test_qubit_fit_prefers_tightest(self):
-        shards = _shards([["lagos"], ["guadalupe"], ["auckland"]])  # 7/16/27
+        shards = make_shards([["lagos"], ["guadalupe"], ["auckland"]])  # 7/16/27
         balancer = QubitFitBalancer()
-        assert balancer.route(_job(5), shards, 0.0).shard_id == 0
-        assert balancer.route(_job(10), shards, 0.0).shard_id == 1
-        assert balancer.route(_job(20), shards, 0.0).shard_id == 2
+        assert balancer.route(make_job(5), shards, 0.0).shard_id == 0
+        assert balancer.route(make_job(10), shards, 0.0).shard_id == 1
+        assert balancer.route(make_job(20), shards, 0.0).shard_id == 2
 
 
 class TestShardedEquivalence:
@@ -184,8 +162,8 @@ class TestShardedEquivalence:
         return sim.run(self._apps(duration=duration))
 
     def test_one_shard_fcfs_bit_identical(self):
-        a = self._run(FCFSPolicy(_fake_estimate), sharded=False)
-        b = self._run(FCFSPolicy(_fake_estimate), sharded=True)
+        a = self._run(FCFSPolicy(fake_estimate), sharded=False)
+        b = self._run(FCFSPolicy(fake_estimate), sharded=True)
         for attr in SERIES:
             at, av = getattr(a, attr).as_arrays()
             bt, bv = getattr(b, attr).as_arrays()
@@ -228,7 +206,7 @@ class TestShardedEquivalence:
         )
         sim = CloudSimulator.sharded(
             fleet,
-            FCFSPolicy(_fake_estimate),
+            FCFSPolicy(fake_estimate),
             num_shards=2,
             balancer="least_loaded",
             execution_model=ExecutionModel(seed=5),
@@ -280,8 +258,8 @@ class TestRebalancePolicies:
     """Unit tests over the work-stealing strategies (no simulator)."""
 
     def _batched_shards(self, widths_per_shard):
-        return _shards(
-            widths_per_shard, policy=BatchedFCFSPolicy(_fake_estimate)
+        return make_shards(
+            widths_per_shard, policy=BatchedFCFSPolicy(fake_estimate)
         )
 
     def test_make_rebalancer(self):
@@ -302,7 +280,7 @@ class TestRebalancePolicies:
 
     def test_threshold_drains_gap(self):
         shards = self._batched_shards([["auckland"], ["hanoi"]])
-        jobs = [_job(5) for _ in range(10)]
+        jobs = [make_job(5) for _ in range(10)]
         shards[0].pending = list(jobs)
         moves = ThresholdRebalancePolicy(min_gap=4).rebalance(shards, 0.0)
         # 10/0 -> ... -> 6/4: the gap drains until it drops below 4.
@@ -318,10 +296,10 @@ class TestRebalancePolicies:
     def test_threshold_respects_feasibility(self):
         # lagos/nairobi are 7q: 16q pending jobs must not migrate there.
         shards = self._batched_shards([["auckland"], ["lagos"]])
-        shards[0].pending = [_job(16) for _ in range(10)]
+        shards[0].pending = [make_job(16) for _ in range(10)]
         assert ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0) == []
         # Mixed queue: only the narrow jobs move.
-        shards[0].pending = [_job(16), _job(5), _job(16), _job(5), _job(16)]
+        shards[0].pending = [make_job(16), make_job(5), make_job(16), make_job(5), make_job(16)]
         moves = ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0)
         assert all(m.job.num_qubits == 5 for m in moves)
         assert all(j.num_qubits == 16 for j in shards[0].pending)
@@ -332,8 +310,8 @@ class TestRebalancePolicies:
         shards = self._batched_shards(
             [["auckland"], ["guadalupe"], ["lagos"]]  # 27q / 16q / 7q
         )
-        shards[0].pending = [_job(20) for _ in range(12)]  # fits only 27q
-        narrow = [_job(5) for _ in range(8)]
+        shards[0].pending = [make_job(20) for _ in range(12)]  # fits only 27q
+        narrow = [make_job(5) for _ in range(8)]
         shards[1].pending = list(narrow)
         moves = ThresholdRebalancePolicy(min_gap=4).rebalance(shards, 0.0)
         assert moves, "the feasible 16q->7q gap must still drain"
@@ -349,7 +327,7 @@ class TestRebalancePolicies:
             [["auckland"], ["hanoi"], ["guadalupe"]]  # 27q / 27q / 16q
         )
         # Four narrow jobs (fit anywhere) then four wide ones (27q only).
-        jobs = [_job(10) for _ in range(4)] + [_job(20) for _ in range(4)]
+        jobs = [make_job(10) for _ in range(4)] + [make_job(20) for _ in range(4)]
         shards[0].pending = list(jobs)
         moves = ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0)
         assert all(m.src is shards[0] for m in moves)
@@ -364,13 +342,13 @@ class TestRebalancePolicies:
 
     def test_threshold_skips_offline_destination(self):
         shards = self._batched_shards([["auckland"], ["hanoi"]])
-        shards[0].pending = [_job(5) for _ in range(10)]
+        shards[0].pending = [make_job(5) for _ in range(10)]
         shards[1].backends[0].qpu.online = False
         assert ThresholdRebalancePolicy(min_gap=2).rebalance(shards, 0.0) == []
 
     def test_steal_half_takes_newest_in_arrival_order(self):
         shards = self._batched_shards([["auckland"], ["hanoi"]])
-        victim_jobs = [_job(5) for _ in range(9)]
+        victim_jobs = [make_job(5) for _ in range(9)]
         shards[0].pending = list(victim_jobs)
         moves = StealHalfRebalancePolicy(min_victim_depth=4).rebalance(
             shards, 0.0
@@ -385,7 +363,7 @@ class TestRebalancePolicies:
         later thief — each job moves at most once per tick, and every
         move drains the genuinely overloaded shard."""
         shards = self._batched_shards([["auckland"], ["hanoi"], ["cairo"]])
-        shards[2].pending = [_job(5) for _ in range(10)]
+        shards[2].pending = [make_job(5) for _ in range(10)]
         moves = StealHalfRebalancePolicy(min_victim_depth=4).rebalance(
             shards, 0.0
         )
@@ -401,8 +379,8 @@ class TestRebalancePolicies:
         shards = self._batched_shards(
             [["lagos"], ["auckland"], ["hanoi"]]  # 7q / 27q / 27q
         )
-        shards[1].pending = [_job(20) for _ in range(10)]  # infeasible
-        shards[2].pending = [_job(5) for _ in range(8)]  # feasible
+        shards[1].pending = [make_job(20) for _ in range(10)]  # infeasible
+        shards[2].pending = [make_job(5) for _ in range(8)]  # feasible
         moves = StealHalfRebalancePolicy(min_victim_depth=4).rebalance(
             shards, 0.0
         )
@@ -412,11 +390,11 @@ class TestRebalancePolicies:
 
     def test_steal_half_ignores_busy_thieves_and_shallow_victims(self):
         shards = self._batched_shards([["auckland"], ["hanoi"]])
-        shards[0].pending = [_job(5) for _ in range(3)]
+        shards[0].pending = [make_job(5) for _ in range(3)]
         policy = StealHalfRebalancePolicy(min_victim_depth=4)
         assert policy.rebalance(shards, 0.0) == []
-        shards[1].pending = [_job(5)]  # thief not idle
-        shards[0].pending = [_job(5) for _ in range(8)]
+        shards[1].pending = [make_job(5)]  # thief not idle
+        shards[0].pending = [make_job(5) for _ in range(8)]
         assert policy.rebalance(shards, 0.0) == []
 
     def test_threshold_batched_drain_matches_reference(self):
@@ -481,7 +459,7 @@ class TestRebalancePolicies:
             for size in sizes:
                 queue = []
                 for _ in range(size):
-                    job = _job(int(rng.choice(widths)))
+                    job = make_job(int(rng.choice(widths)))
                     t += 1.0
                     job.arrival_time = t
                     queue.append(job)
@@ -527,7 +505,7 @@ class TestRebalancePolicies:
 
     def test_single_shard_noop(self):
         shards = self._batched_shards([["auckland"]])
-        shards[0].pending = [_job(5) for _ in range(10)]
+        shards[0].pending = [make_job(5) for _ in range(10)]
         for policy in (
             ThresholdRebalancePolicy(),
             StealHalfRebalancePolicy(),
@@ -546,7 +524,7 @@ class TestRebalancingRuns:
         hanoi, both 27q}: an 8-16q stream qubit-fits entirely onto shard
         0 while the wide shard idles — the work-stealing stress shape."""
         by_name = {q.name: q for q in default_fleet(seed=7, names=self.NAMES)}
-        policy = BatchedFCFSPolicy(_fake_estimate)
+        policy = BatchedFCFSPolicy(fake_estimate)
         groups = [["guadalupe", "lagos"], ["auckland", "hanoi"]]
         return [
             FleetShard(
@@ -577,20 +555,10 @@ class TestRebalancingRuns:
         )
         return sim.run(gen.generate(duration))
 
-    def _assert_identical(self, a, b):
-        for attr in SERIES:
-            at, av = getattr(a, attr).as_arrays()
-            bt, bv = getattr(b, attr).as_arrays()
-            assert np.array_equal(at, bt) and np.array_equal(av, bv)
-        assert a.events_processed == b.events_processed
-        assert a.dispatched_jobs == b.dispatched_jobs
-        assert a.per_qpu_busy_seconds == b.per_qpu_busy_seconds
-        assert a.per_qpu_jobs == b.per_qpu_jobs
-
     def test_rebalanced_runs_deterministic(self):
         a = self._run(rebalance="threshold")
         b = self._run(rebalance="threshold")
-        self._assert_identical(a, b)
+        assert_series_identical(a, b)
         assert a.jobs_migrated == b.jobs_migrated
         assert a.per_shard_steals == b.per_shard_steals
 
@@ -601,7 +569,7 @@ class TestRebalancingRuns:
         b = self._run(
             rebalance=ThresholdRebalancePolicy(interval_seconds=1e9)
         )
-        self._assert_identical(a, b)
+        assert_series_identical(a, b)
         assert b.rebalance_cycles == 0 and b.jobs_migrated == 0
 
     def test_one_shard_run_ignores_rebalancer(self):
@@ -611,7 +579,7 @@ class TestRebalancingRuns:
         def run(rebalance):
             sim = CloudSimulator.sharded(
                 fleet_of_size(2, seed=7),
-                BatchedFCFSPolicy(_fake_estimate),
+                BatchedFCFSPolicy(fake_estimate),
                 num_shards=1,
                 execution_model=ExecutionModel(seed=5),
                 config=SimulationConfig(duration_seconds=900.0, seed=5),
@@ -621,7 +589,7 @@ class TestRebalancingRuns:
 
         a = run(None)
         b = run(ThresholdRebalancePolicy(interval_seconds=30.0))
-        self._assert_identical(a, b)
+        assert_series_identical(a, b)
         assert b.rebalance_cycles == 0
 
     def test_work_stealing_spreads_skewed_load(self):
@@ -688,7 +656,7 @@ class TestStreaming:
             fleet = default_fleet(seed=7, names=["auckland", "lagos"])
             sim = CloudSimulator(
                 fleet,
-                FCFSPolicy(_fake_estimate),
+                FCFSPolicy(fake_estimate),
                 ExecutionModel(seed=5),
                 config=SimulationConfig(duration_seconds=900.0, seed=5),
             )
@@ -708,7 +676,7 @@ class TestStreaming:
         fleet = default_fleet(seed=7, names=["auckland", "algiers"])
         sim = CloudSimulator(
             fleet,
-            FCFSPolicy(_fake_estimate),
+            FCFSPolicy(fake_estimate),
             ExecutionModel(seed=5),
             config=SimulationConfig(duration_seconds=1800.0, seed=5),
         )

@@ -14,6 +14,11 @@ import os
 import numpy as np
 import pytest
 
+from helpers.determinism import (
+    assert_runs_identical,
+    fake_estimate,
+    run_sharded,
+)
 from repro.backends.fleet import fleet_of_size
 from repro.cloud import (
     CloudSimulator,
@@ -22,6 +27,8 @@ from repro.cloud import (
     ProcessCycleExecutor,
     SerialCycleExecutor,
     SimulationConfig,
+    SimulationMetrics,
+    TimeSeries,
     ThreadCycleExecutor,
     make_cycle_executor,
 )
@@ -33,39 +40,6 @@ from repro.scheduler import (
     cycle_seed,
     run_optimization,
 )
-
-
-def _fake_estimate(job, qpu):
-    return 0.5 + 0.4 / (1 + job.num_qubits + len(qpu.name)), 12.0
-
-
-def _run_sharded(policy, executor, *, num_shards=3, duration=700.0,
-                 rebalance=None, recal=None):
-    gen = LoadGenerator(
-        mean_rate_per_hour=2400,
-        max_qubits=27,
-        arrival_process="mmpp",
-        burst_rate_multiplier=6.0,
-        mean_burst_seconds=60.0,
-        mean_calm_seconds=240.0,
-        diurnal=False,
-        seed=4,
-    )
-    sim = CloudSimulator.sharded(
-        fleet_of_size(6, seed=7),
-        policy,
-        num_shards=num_shards,
-        execution_model=ExecutionModel(seed=5),
-        trigger_factory=lambda i: SchedulingTrigger(
-            queue_limit=10_000, interval_seconds=120
-        ),
-        config=SimulationConfig(
-            duration_seconds=duration, seed=5, recalibrate_every_seconds=recal
-        ),
-        rebalance=rebalance,
-        cycle_executor=executor,
-    )
-    return sim.run(gen.generate(duration))
 
 
 class TestCycleExecutors:
@@ -112,7 +86,7 @@ class TestCycleExecutors:
         monkeypatch.setenv(CYCLE_EXECUTOR_ENV, "thread")
         sim = CloudSimulator(
             fleet_of_size(2, seed=7),
-            BatchedFCFSPolicy(_fake_estimate),
+            BatchedFCFSPolicy(fake_estimate),
             ExecutionModel(seed=5),
             config=SimulationConfig(duration_seconds=60.0, seed=5),
         )
@@ -128,7 +102,7 @@ class TestCycleSeedPurity:
         assert cycle_seed(3, 1, 3).generate_state(4).tolist() != base
 
     def test_run_optimization_is_pure(self):
-        sched = QonductorScheduler(_fake_estimate, seed=1, max_generations=6)
+        sched = QonductorScheduler(fake_estimate, seed=1, max_generations=6)
         fleet = fleet_of_size(3, seed=7)
         from repro.cloud import QuantumJob
         from repro.workloads import ghz_linear
@@ -154,10 +128,10 @@ class TestCycleSeedPurity:
             for _ in range(6)
         ]
         fused = QonductorScheduler(
-            _fake_estimate, seed=2, max_generations=6
+            fake_estimate, seed=2, max_generations=6
         ).schedule(list(jobs), fleet, {})
         split_sched = QonductorScheduler(
-            _fake_estimate, seed=2, max_generations=6
+            fake_estimate, seed=2, max_generations=6
         )
         plan = split_sched.begin_cycle(list(jobs), fleet, {})
         split = split_sched.finish_cycle(plan, run_optimization(plan.task))
@@ -173,61 +147,109 @@ class TestBackendBitIdentity:
 
     @pytest.mark.parametrize("backend", ["thread:4", "process:2"])
     def test_qonductor_multi_shard(self, backend):
-        serial = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        serial = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             "serial",
         )
-        parallel = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        parallel = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             backend,
         )
-        assert serial.deterministic_state() == parallel.deterministic_state()
+        assert_runs_identical(serial, parallel)
         # Same-instant deadlines really did coalesce into multi-cycle
         # batches — the parallel path was exercised, not bypassed.
         assert serial.max_batch_cycles >= 2
         assert serial.scheduling_cycles >= 4
 
     def test_fcfs_multi_shard_with_rebalancing(self):
-        serial = _run_sharded(
-            BatchedFCFSPolicy(_fake_estimate), "serial", rebalance="threshold"
+        serial = run_sharded(
+            BatchedFCFSPolicy(fake_estimate), "serial", rebalance="threshold"
         )
-        threaded = _run_sharded(
-            BatchedFCFSPolicy(_fake_estimate), "thread", rebalance="threshold"
+        threaded = run_sharded(
+            BatchedFCFSPolicy(fake_estimate), "thread", rebalance="threshold"
         )
-        assert serial.deterministic_state() == threaded.deterministic_state()
+        assert_runs_identical(serial, threaded)
         assert serial.dispatched_jobs > 0
 
     def test_qonductor_with_recalibration(self):
         """Cache invalidation mid-run keeps backends aligned too."""
-        serial = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        serial = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             "serial",
             num_shards=2,
             duration=500.0,
             recal=250.0,
         )
-        threaded = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        threaded = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             "thread",
             num_shards=2,
             duration=500.0,
             recal=250.0,
         )
-        assert serial.deterministic_state() == threaded.deterministic_state()
+        assert_runs_identical(serial, threaded)
 
     def test_seeded_rerun_identical_on_same_backend(self):
-        a = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        a = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             "thread",
             num_shards=2,
             duration=500.0,
         )
-        b = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        b = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             "thread",
             num_shards=2,
             duration=500.0,
         )
+        assert_runs_identical(a, b)
+
+
+class TestDeterministicStateContract:
+    """``deterministic_state`` is exclude-by-allowlist, not
+    include-by-list: new metrics fields are compared by default, and the
+    allowlist itself is validated so it can never silently rot."""
+
+    def test_every_field_but_timing_is_compared(self):
+        m = SimulationMetrics()
+        state = m.deterministic_state()
+        assert set(state) == set(vars(m)) - set(m.TIMING_FIELDS)
+        assert "wall_seconds" not in state
+        assert "stage_seconds" not in state
+
+    def test_new_fields_are_included_automatically(self):
+        """A field added by a future PR lands in the comparison without
+        anyone remembering to register it."""
+        m = SimulationMetrics()
+        m.brand_new_counter = 7
+        assert m.deterministic_state()["brand_new_counter"] == 7
+
+    def test_stale_allowlist_entry_fails_loudly(self, monkeypatch):
+        """Renaming/removing a timing field without updating the
+        allowlist must raise, not silently exclude nothing."""
+        monkeypatch.setattr(
+            SimulationMetrics,
+            "TIMING_FIELDS",
+            ("wall_seconds", "stage_seconds", "renamed_away"),
+        )
+        with pytest.raises(AttributeError, match="renamed_away"):
+            SimulationMetrics().deterministic_state()
+
+    def test_timeseries_fields_compare_by_value(self):
+        a, b = SimulationMetrics(), SimulationMetrics()
+        a.mean_fidelity.add(1.0, 0.9)
+        b.mean_fidelity.add(1.0, 0.9)
+        a.shard_queue_size[0] = TimeSeries([1.0], [3.0])
+        b.shard_queue_size[0] = TimeSeries([1.0], [3.0])
+        assert a.deterministic_state() == b.deterministic_state()
+        b.mean_fidelity.add(2.0, 0.8)
+        assert a.deterministic_state() != b.deterministic_state()
+
+    def test_timing_fields_do_not_affect_equality(self):
+        a, b = SimulationMetrics(), SimulationMetrics()
+        a.wall_seconds = 1.23
+        b.wall_seconds = 9.87
+        b.stage_seconds["optimize"] = 5.0
         assert a.deterministic_state() == b.deterministic_state()
 
 
@@ -236,8 +258,8 @@ class TestCoalescing:
         """Deadline-driven shards with one shared cadence coalesce; a
         queue-limit-driven fleet (triggers firing on arrivals at distinct
         times) runs batches of one."""
-        aligned = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        aligned = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             "serial",
             duration=500.0,
         )
@@ -249,7 +271,7 @@ class TestCoalescing:
         )
         sim = CloudSimulator.sharded(
             fleet_of_size(6, seed=7),
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             num_shards=3,
             execution_model=ExecutionModel(seed=5),
             trigger_factory=lambda i: SchedulingTrigger(
@@ -264,8 +286,8 @@ class TestCoalescing:
         assert m.scheduling_cycles - m.cycle_batches <= 3 - 1
 
     def test_stage_seconds_accumulated(self):
-        m = _run_sharded(
-            QonductorScheduler(_fake_estimate, seed=5, max_generations=4),
+        m = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
             "serial",
             duration=500.0,
         )
@@ -286,7 +308,7 @@ class TestCoalescing:
 def test_env_selected_backend_smoke():
     """Under CYCLE_EXECUTOR=thread CI runs the whole tier-1 suite on the
     parallel path; this is its explicit canary."""
-    m = _run_sharded(
-        QonductorScheduler(_fake_estimate, seed=5, max_generations=4), None
+    m = run_sharded(
+        QonductorScheduler(fake_estimate, seed=5, max_generations=4), None
     )
     assert m.dispatched_jobs > 0

@@ -1,0 +1,355 @@
+"""Multi-tenancy tests: contracts, the admission front door, tier-weighted
+scheduling, tenant-aware fleet behavior — and the load-bearing guarantee
+that **tenancy off changes nothing**: runs without tenants/admission are
+bit-identical whether or not the tenancy machinery is configured, for
+both the FCFS baseline and the Qonductor scheduler on multi-shard fleets
+(via the shared determinism harness).
+"""
+
+import numpy as np
+import pytest
+
+from helpers.determinism import (
+    assert_runs_identical,
+    fake_estimate,
+    make_job,
+    make_shards,
+    run_sharded,
+)
+from repro.cloud import (
+    BEST_EFFORT_TIER,
+    AdmissionController,
+    LeastLoadedBalancer,
+    Tenant,
+    TenantShare,
+    ThresholdRebalancePolicy,
+    abusive_mix,
+    effective_tier,
+    jain_index,
+    tier_preference,
+    tier_sort,
+)
+from repro.scheduler import BatchedFCFSPolicy, QonductorScheduler
+
+
+class TestTenantContracts:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tenant("x", tier=-1)
+        with pytest.raises(ValueError):
+            Tenant("x", rate_limit_per_hour=0.0)
+        with pytest.raises(ValueError):
+            Tenant("x", burst=0)
+        with pytest.raises(ValueError):
+            Tenant("x", queue_quota=0)
+        with pytest.raises(ValueError):
+            TenantShare(Tenant("x"), share=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(quota_action="drop")
+
+    def test_abusive_mix_shape(self):
+        mix = abusive_mix(num_normal=3, abuser_share=0.5)
+        assert len(mix) == 4
+        ids = [s.tenant.tenant_id for s in mix]
+        assert ids == ["tenant-0", "tenant-1", "tenant-2", "abuser"]
+        assert mix[0].tenant.tier == 0  # one premium tenant
+        assert mix[-1].tenant.tier == 2
+        assert sum(s.share for s in mix) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            abusive_mix(abuser_share=1.0)
+
+
+class TestAdmissionController:
+    def _tenant_job(self, tenant):
+        return make_job(5, tenant=tenant)
+
+    def test_untenanted_bypasses(self):
+        ctrl = AdmissionController()
+        decision = ctrl.admit(make_job(5), 0.0)
+        assert decision.admitted and decision.action == "admit"
+
+    def test_rate_limit_burst_then_refill(self):
+        tenant = Tenant("t", rate_limit_per_hour=3600.0, burst=3)
+        ctrl = AdmissionController()
+        # The bucket starts full: the first `burst` arrivals pass.
+        for _ in range(3):
+            assert ctrl.admit(self._tenant_job(tenant), 0.0).admitted
+        rejected = ctrl.admit(self._tenant_job(tenant), 0.0)
+        assert not rejected.admitted and rejected.reason == "rate_limit"
+        # 3600/h = 1 token/s: two seconds later two arrivals fit again.
+        assert ctrl.admit(self._tenant_job(tenant), 2.0).admitted
+        assert ctrl.admit(self._tenant_job(tenant), 2.0).admitted
+        assert not ctrl.admit(self._tenant_job(tenant), 2.0).admitted
+
+    def test_rate_limit_bucket_never_exceeds_burst(self):
+        tenant = Tenant("t", rate_limit_per_hour=3600.0, burst=2)
+        ctrl = AdmissionController()
+        assert ctrl.admit(self._tenant_job(tenant), 0.0).admitted
+        # A long quiet spell refills to `burst`, not beyond.
+        for i in range(2):
+            assert ctrl.admit(self._tenant_job(tenant), 10_000.0).admitted
+        assert not ctrl.admit(self._tenant_job(tenant), 10_000.0).admitted
+
+    def test_queue_quota_degrade_and_reject(self):
+        tenant = Tenant("t", queue_quota=2)
+        degrade = AdmissionController(quota_action="degrade")
+        jobs = [self._tenant_job(tenant) for _ in range(3)]
+        for job in jobs[:2]:
+            assert degrade.admit(job, 0.0).action == "admit"
+            degrade.track_queued(job)
+        over = degrade.admit(jobs[2], 0.0)
+        assert over.admitted and over.action == "degrade"
+        assert over.reason == "queue_quota"
+
+        reject = AdmissionController(quota_action="reject")
+        for job in jobs[:2]:
+            reject.track_queued(job)
+        assert not reject.admit(jobs[2], 0.0).admitted
+        # Draining the queue frees quota.
+        reject.track_dequeued(jobs[0])
+        assert reject.admit(jobs[2], 0.0).admitted
+
+    def test_pending_tracking_is_idempotent(self):
+        tenant = Tenant("t", queue_quota=5)
+        ctrl = AdmissionController()
+        job = self._tenant_job(tenant)
+        ctrl.track_queued(job)
+        ctrl.track_queued(job)  # double enqueue must not double count
+        assert ctrl.pending_depth("t") == 1
+        ctrl.track_dequeued(job)
+        ctrl.track_dequeued(job)  # double dequeue must not underflow
+        assert ctrl.pending_depth("t") == 0
+
+
+class TestTierHelpers:
+    def test_tier_sort_untenanted_is_same_object(self):
+        jobs = [make_job(5) for _ in range(4)]
+        assert tier_sort(jobs) is jobs  # provably untouched path
+
+    def test_tier_sort_stable_by_tier(self):
+        gold, silver = Tenant("gold", tier=0), Tenant("silver", tier=1)
+        j0 = make_job(5, tenant=silver)
+        j1 = make_job(5, tenant=gold)
+        j2 = make_job(5, tenant=silver)
+        j3 = make_job(5, tenant=gold)
+        j4 = make_job(5)  # untenanted -> best effort
+        j5 = make_job(5, tenant=gold)
+        j5.best_effort = True  # degraded: behind every contracted tier
+        ordered = tier_sort([j0, j1, j2, j3, j4, j5])
+        assert ordered == [j1, j3, j0, j2, j4, j5]
+        assert effective_tier(j1) == 0
+        assert effective_tier(j4) == BEST_EFFORT_TIER
+        assert effective_tier(j5) == BEST_EFFORT_TIER
+
+    def test_tier_preference_override(self):
+        prefs = {0: "jct", 1: "balanced"}
+        gold, bronze = Tenant("g", tier=0), Tenant("b", tier=2)
+        assert tier_preference([make_job(5)], prefs) is None
+        assert tier_preference([make_job(5, tenant=bronze)], prefs) is None
+        batch = [make_job(5, tenant=bronze), make_job(5, tenant=gold)]
+        assert tier_preference(batch, prefs) == "jct"
+        assert tier_preference(batch, None) is None
+        degraded = make_job(5, tenant=gold)
+        degraded.best_effort = True
+        assert tier_preference([degraded], prefs) is None
+
+    def test_jain_index(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+        # One tenant holds everything -> 1/n.
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+class TestTenantAwareFleet:
+    def test_balancer_spreads_same_tenant(self):
+        """A tenant's burst fans out: the shard already holding its jobs
+        looks more loaded to the next job of the same tenant."""
+        noisy, quiet = Tenant("noisy"), Tenant("quiet")
+        shards = make_shards(
+            [["auckland"], ["hanoi"]],
+            policy=BatchedFCFSPolicy(fake_estimate),
+        )
+        shards[0].pending = [make_job(5, tenant=noisy) for _ in range(2)]
+        shards[1].pending = [make_job(5, tenant=quiet) for _ in range(3)]
+        balancer = LeastLoadedBalancer()
+        # Untenanted and quiet-tenant jobs go to the shorter queue...
+        assert balancer.route(make_job(5), shards, 0.0).shard_id == 0
+        # ...but the noisy tenant's next job spreads to shard 1
+        # (2 pending + 2 same-tenant > 3 pending + 0 same-tenant).
+        assert (
+            balancer.route(make_job(5, tenant=noisy), shards, 0.0).shard_id
+            == 1
+        )
+
+    def test_rebalancer_drains_dominant_tenant_first(self):
+        noisy, quiet = Tenant("noisy"), Tenant("quiet")
+        shards = make_shards(
+            [["auckland"], ["hanoi"]],
+            policy=BatchedFCFSPolicy(fake_estimate),
+        )
+        queue = []
+        for i in range(8):
+            tenant = quiet if i < 2 else noisy  # noisy dominates 6:2
+            queue.append(make_job(5, tenant=tenant, arrival_time=float(i)))
+        shards[0].pending = list(queue)
+        moves = ThresholdRebalancePolicy(
+            min_gap=4, tenant_aware=True
+        ).rebalance(shards, 0.0)
+        # Gap 8 closes to 5/3: three moves, every one from the noisy
+        # tenant even though quiet jobs sit at the head of the queue.
+        assert len(moves) == 3
+        assert all(m.job.tenant_id == "noisy" for m in moves)
+        # Quiet jobs kept their place at the front of the source queue.
+        assert shards[0].pending[:2] == queue[:2]
+        # Migrated jobs delivered in arrival order.
+        arrivals = [j.arrival_time for j in shards[1].pending]
+        assert arrivals == sorted(arrivals)
+
+    def test_untenanted_queue_ignores_tenant_aware_flag(self):
+        shards_a = make_shards(
+            [["auckland"], ["hanoi"]],
+            policy=BatchedFCFSPolicy(fake_estimate),
+        )
+        shards_b = make_shards(
+            [["auckland"], ["hanoi"]],
+            policy=BatchedFCFSPolicy(fake_estimate),
+        )
+        queue = [make_job(5, arrival_time=float(i)) for i in range(9)]
+        shards_a[0].pending = list(queue)
+        shards_b[0].pending = list(queue)
+        plain = ThresholdRebalancePolicy(min_gap=4).rebalance(shards_a, 0.0)
+        aware = ThresholdRebalancePolicy(
+            min_gap=4, tenant_aware=True
+        ).rebalance(shards_b, 0.0)
+        assert [m.job.job_id for m in plain] == [m.job.job_id for m in aware]
+        assert [j.job_id for j in shards_a[0].pending] == [
+            j.job_id for j in shards_b[0].pending
+        ]
+
+
+class TestTenancyOffBitIdentity:
+    """The acceptance gate: with tenancy *configured but unused* (an
+    admission controller, tier preferences, a tenant-aware rebalancer —
+    but an untenanted stream), every run is bit-identical to the plain
+    PR-5 configuration."""
+
+    def test_fcfs_multi_shard(self):
+        plain = run_sharded(
+            BatchedFCFSPolicy(fake_estimate), "serial", rebalance="threshold"
+        )
+        wired = run_sharded(
+            BatchedFCFSPolicy(fake_estimate),
+            "serial",
+            rebalance=ThresholdRebalancePolicy(tenant_aware=True),
+            admission=AdmissionController(),
+        )
+        assert_runs_identical(plain, wired)
+        assert wired.admission_rejected == 0
+        assert wired.tenant_jct == {}
+
+    def test_qonductor_multi_shard(self):
+        plain = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            "serial",
+        )
+        wired = run_sharded(
+            QonductorScheduler(
+                fake_estimate,
+                seed=5,
+                max_generations=4,
+                tier_preferences={0: "jct", 1: "balanced"},
+            ),
+            "serial",
+            admission=AdmissionController(quota_action="reject"),
+        )
+        assert_runs_identical(plain, wired)
+
+    def test_tenanted_stream_same_arrivals_as_untenanted(self):
+        """Tenant stamping draws from its own RNG substream: the tenanted
+        run carries the same circuits at the same instants."""
+        from repro.cloud import LoadGenerator
+
+        base = LoadGenerator(mean_rate_per_hour=900, diurnal=False, seed=4)
+        mixed = LoadGenerator(
+            mean_rate_per_hour=900,
+            diurnal=False,
+            tenants=abusive_mix(),
+            seed=4,
+        )
+        a, b = base.generate(1200.0), mixed.generate(1200.0)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.arrival_time == y.arrival_time
+            assert (
+                x.quantum_job.metrics.fingerprint
+                == y.quantum_job.metrics.fingerprint
+            )
+        assert any(app.quantum_job.tenant is not None for app in b)
+
+
+class TestTenantedRuns:
+    def test_admission_and_tier_weighting_end_to_end(self):
+        mix = abusive_mix(
+            abuser_rate_limit_per_hour=400.0,
+            abuser_queue_quota=10,
+            normal_slo_seconds=1800.0,
+        )
+        m = run_sharded(
+            BatchedFCFSPolicy(fake_estimate),
+            "serial",
+            tenants=mix,
+            admission=AdmissionController(quota_action="degrade"),
+        )
+        report = m.tenant_report()
+        assert set(report["per_tenant"]) == {
+            "tenant-0", "tenant-1", "tenant-2", "abuser"
+        }
+        # The front door actually engaged on the flooding tenant.
+        abuser = report["per_tenant"]["abuser"]
+        assert (
+            abuser["admission"]["rejected"] > 0
+            or abuser["admission"]["degraded"] > 0
+        )
+        assert report["per_tenant"]["tenant-0"]["admission"]["rejected"] == 0
+        # Tier weighting: the premium tenant completes no slower (mean)
+        # than the throttled abuser under the same seeded stream.
+        assert (
+            report["per_tenant"]["tenant-0"]["mean_jct"]
+            <= report["per_tenant"]["abuser"]["mean_jct"]
+        )
+        assert 0.0 < report["jain_fairness"] <= 1.0
+        # Conservation holds with the front door in the path.
+        total = (
+            m.dispatched_jobs
+            + m.unschedulable_jobs
+            + m.pending_at_horizon
+            + m.admission_rejected
+        )
+        counted = sum(
+            sum(bucket.values())
+            for bucket in m.per_tenant_admission.values()
+        )
+        assert counted == total
+
+    def test_tenanted_run_is_deterministic(self):
+        def run():
+            return run_sharded(
+                BatchedFCFSPolicy(fake_estimate),
+                "serial",
+                tenants=abusive_mix(abuser_rate_limit_per_hour=400.0),
+                admission=AdmissionController(),
+            )
+
+        assert_runs_identical(run(), run())
+
+    def test_jain_fairness_from_metrics(self):
+        m = run_sharded(
+            BatchedFCFSPolicy(fake_estimate),
+            "serial",
+            tenants=abusive_mix(),
+        )
+        j = m.jain_fairness()
+        assert 0.0 < j <= 1.0
+        means = [float(np.mean(v)) for v in m.tenant_jct.values()]
+        assert j == pytest.approx(jain_index(means))
