@@ -11,16 +11,18 @@ the cycle, so stale entries can never be served; :meth:`on_recalibration`
 additionally drops them to bound memory and refreshes the wrapped
 estimator's templates.
 
-:class:`CachedEstimator` is a drop-in ``estimate_fn`` for every scheduling
-policy (it is callable with ``(job, qpu)``), and additionally exposes the
-vectorized :meth:`estimate_matrix` fast path that
+:class:`CachedEstimator` is a full :class:`~repro.estimator.source.EstimateSource`:
+it is callable with ``(job, qpu)`` for sequential consumers and implements
+the batched :meth:`estimate_block` fast path that
 :class:`~repro.scheduler.quantum.QonductorScheduler` and the baseline
-policies detect via ``hasattr``.
+policies drive directly (``estimate_matrix`` remains as a deprecated
+alias).
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
@@ -237,7 +239,7 @@ class CachedEstimator:
             self._job_rows[jkey] = rows
         return rows
 
-    def estimate_matrix(
+    def estimate_block(
         self,
         jobs: list[QuantumJob],
         qpus: list[QPU],
@@ -294,3 +296,18 @@ class CachedEstimator:
                     fid[i, k], sec[i, k] = value
                     self.cache.put(keys[i * m + k], value)
         return fid, sec
+
+    def estimate_matrix(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        feasible: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deprecated alias for :meth:`estimate_block`."""
+        warnings.warn(
+            "CachedEstimator.estimate_matrix is deprecated; use "
+            "estimate_block",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.estimate_block(jobs, qpus, feasible)

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..backends.qpu import QPU
 from ..backends.template import TemplateQPU, build_templates
 from ..circuits.metrics import CircuitMetrics
 from ..cloud.execution import ExecutionModel
-from ..cloud.job import QuantumJob
+from ..cloud.job import QuantumJob, feasibility_matrix
 from .dataset import generate_dataset
+from .features import job_fidelity_features, job_runtime_features
 from .models import TrainedEstimators, train_estimators
 from .plans import ResourcePlan, generate_resource_plans
 
@@ -61,6 +64,42 @@ class ResourceEstimator:
         sec = self.estimators.estimate_runtime(
             job.metrics, job.shots, job.mitigation, qpu.calibration
         )
+        return fid, sec
+
+    def estimate_block(
+        self,
+        jobs: list[QuantumJob],
+        qpus: list[QPU],
+        feasible: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(fidelity, exec_seconds) matrices over ``jobs`` x ``qpus``.
+
+        The :class:`~repro.estimator.source.EstimateSource` entry point:
+        per QPU, all feasible jobs are predicted in one vectorized batch
+        through the trained models; infeasible pairs stay zero and are
+        never evaluated.
+        """
+        n, m = len(jobs), len(qpus)
+        fid = np.zeros((n, m))
+        sec = np.zeros((n, m))
+        if feasible is None:
+            feasible = feasibility_matrix(jobs, qpus)
+        fid_rows = np.array(
+            [job_fidelity_features(j.metrics, j.shots, j.mitigation) for j in jobs]
+        )
+        run_rows = np.array(
+            [job_runtime_features(j.metrics, j.shots, j.mitigation) for j in jobs]
+        )
+        for k, qpu in enumerate(qpus):
+            idx = np.flatnonzero(feasible[:, k])
+            if idx.size == 0:
+                continue
+            fid[idx, k] = self.estimators.estimate_fidelity_batch(
+                fid_rows[idx], qpu.calibration
+            )
+            sec[idx, k] = self.estimators.estimate_runtime_batch(
+                run_rows[idx], qpu.calibration
+            )
         return fid, sec
 
     def cached(self, **kwargs) -> "CachedEstimator":

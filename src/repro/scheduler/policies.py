@@ -11,9 +11,13 @@
 * :class:`LeastBusyPolicy` — IBM's ``least_busy`` selector [15].
 * :class:`RandomPolicy` — load-oblivious control.
 
-When the estimate source exposes the ``estimate_matrix`` fast path (see
-:class:`~repro.estimator.cache.CachedEstimator`), FCFS scores a whole batch
-in one vectorized pass; per-pair calls remain the fallback.
+FCFS scores every batch through one
+:meth:`~repro.estimator.source.EstimateSource.estimate_block` call —
+batch-capable sources (:class:`~repro.estimator.cache.CachedEstimator`,
+:class:`~repro.cloud.proxy.AnalyticEstimateSource`) vectorize it, and
+legacy pair-wise callables are adapted by
+:func:`~repro.estimator.source.as_estimate_source` (bit-identical, with a
+DeprecationWarning).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import numpy as np
 from ..backends.qpu import QPU
 from ..cloud.job import QuantumJob, feasibility_matrix
 from ..cloud.tenancy import tier_sort
+from ..estimator.source import as_estimate_source
 
 __all__ = [
     "FCFSPolicy",
@@ -52,14 +57,15 @@ class FCFSPolicy:
 
     def __init__(self, estimate_fn: EstimateFn, *, shard_id: int = 0) -> None:
         self.estimate_fn = estimate_fn
+        self.source = as_estimate_source(estimate_fn)
         self.shard_id = shard_id
 
     def spawn(self, shard_id: int) -> "FCFSPolicy":
         """A per-shard instance sharing this policy's estimate source."""
-        return type(self)(self.estimate_fn, shard_id=shard_id)
+        return type(self)(self.source, shard_id=shard_id)
 
     def on_recalibration(self, qpus: list[QPU]) -> None:
-        _forward_recalibration(self.estimate_fn, qpus)
+        _forward_recalibration(self.source, qpus)
 
     def assign(
         self,
@@ -69,25 +75,11 @@ class FCFSPolicy:
     ) -> list[tuple[QuantumJob, str | None]]:
         if not jobs:
             return []
-        if hasattr(self.estimate_fn, "estimate_matrix"):
-            return self._assign_vectorized(jobs, qpus)
-        out: list[tuple[QuantumJob, str | None]] = []
-        for job in jobs:
-            feasible = [q for q in qpus if q.online and q.num_qubits >= job.num_qubits]
-            if not feasible:
-                out.append((job, None))
-                continue
-            best = max(feasible, key=lambda q: self.estimate_fn(job, q)[0])
-            out.append((job, best.name))
-        return out
-
-    def _assign_vectorized(
-        self, jobs: list[QuantumJob], qpus: list[QPU]
-    ) -> list[tuple[QuantumJob, str | None]]:
         feas = feasibility_matrix(jobs, qpus)
-        fid, _ = self.estimate_fn.estimate_matrix(jobs, qpus, feas)
+        fid, _ = self.source.estimate_block(jobs, qpus, feas)
         scored = np.where(feas, fid, -np.inf)
-        # argmax returns the first maximum, matching max() in the fallback.
+        # argmax returns the first maximum, matching the pre-block
+        # per-job max() over feasible QPUs in listing order.
         best = scored.argmax(axis=1)
         return [
             (job, qpus[best[i]].name if feas[i].any() else None)

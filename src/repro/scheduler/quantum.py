@@ -33,6 +33,7 @@ import numpy as np
 from ..backends.qpu import QPU
 from ..cloud.job import QuantumJob, feasibility_matrix
 from ..cloud.tenancy import tier_preference, tier_sort
+from ..estimator.source import as_estimate_source
 from ..moo import select_by_preference
 from .cycle import OptimizationResult, OptimizationTask, run_optimization
 from .formulation import SchedulingInput, assignment_stats
@@ -124,6 +125,10 @@ class QonductorScheduler:
         tier_preferences: dict | None = None,
     ) -> None:
         self.estimate_fn = estimate_fn
+        #: The batched scoring surface; legacy pair-wise callables are
+        #: adapted (with a DeprecationWarning) by
+        #: :func:`~repro.estimator.source.as_estimate_source`.
+        self.source = as_estimate_source(estimate_fn)
         self.preference = preference
         #: Optional tier -> MCDM preference mapping for tenant-weighted
         #: selection (see :func:`~repro.cloud.tenancy.tier_preference`):
@@ -149,7 +154,7 @@ class QonductorScheduler:
         independent of which worker runs which cycle first.
         """
         return QonductorScheduler(
-            self.estimate_fn,
+            self.source,
             preference=self.preference,
             pop_size=self.pop_size,
             max_generations=self.max_generations,
@@ -168,7 +173,7 @@ class QonductorScheduler:
         resource estimator's ``refresh_templates`` so template averages
         track fresh calibration data.
         """
-        fn_hook = getattr(self.estimate_fn, "on_recalibration", None)
+        fn_hook = getattr(self.source, "on_recalibration", None)
         if fn_hook is not None:
             fn_hook(qpus)
         if self._on_recalibrate is not None:
@@ -180,10 +185,12 @@ class QonductorScheduler:
     ) -> tuple[SchedulingInput | None, list[QuantumJob], list[QuantumJob]]:
         """Stage 1: filter and build estimate matrices.
 
-        When ``estimate_fn`` exposes an ``estimate_matrix`` fast path (see
-        :class:`~repro.estimator.cache.CachedEstimator`), the whole pending
-        set is scored in vectorized array passes instead of one estimator
-        call per (job, QPU) pair.
+        The whole pending set is scored through one
+        :meth:`~repro.estimator.source.EstimateSource.estimate_block`
+        call — batch-capable sources (:class:`~repro.estimator.cache.CachedEstimator`,
+        :class:`~repro.cloud.proxy.AnalyticEstimateSource`) vectorize it;
+        adapted legacy callables replay the per-pair loop inside the
+        adapter.
 
         Returns (input | None, schedulable_jobs, filtered_out_jobs).
         """
@@ -193,17 +200,8 @@ class QonductorScheduler:
         rejected = [j for j in jobs if j.num_qubits > max_width]
         if not schedulable or not online:
             return None, schedulable, rejected
-        n, m = len(schedulable), len(online)
         feas = feasibility_matrix(schedulable, online)
-        if hasattr(self.estimate_fn, "estimate_matrix"):
-            fid, sec = self.estimate_fn.estimate_matrix(schedulable, online, feas)
-        else:
-            fid = np.zeros((n, m))
-            sec = np.zeros((n, m))
-            for i, job in enumerate(schedulable):
-                for k, qpu in enumerate(online):
-                    if feas[i, k]:
-                        fid[i, k], sec[i, k] = self.estimate_fn(job, qpu)
+        fid, sec = self.source.estimate_block(schedulable, online, feas)
         wait = np.array([waiting_seconds.get(q.name, 0.0) for q in online])
         data = SchedulingInput(
             fidelity=fid, exec_seconds=sec, waiting_seconds=wait, feasible=feas

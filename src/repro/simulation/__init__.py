@@ -1,6 +1,14 @@
 """Simulation substrate: ideal statevector, noisy trajectories, readout
-errors, distribution metrics, and the analytic ESP fidelity model."""
+errors, distribution metrics, the analytic ESP fidelity model, and the
+pluggable array-ops backend the hot loops run on."""
 
+from .array_ops import (
+    ARRAY_BACKEND_ENV,
+    ArrayBackend,
+    NumpyBackend,
+    make_array_backend,
+    register_array_backend,
+)
 from .distributions import (
     counts_to_probs,
     hellinger_distance,
@@ -11,11 +19,18 @@ from .distributions import (
     total_variation_distance,
 )
 from .esp import (
+    CircuitEspFeatures,
     circuit_duration_ns,
+    circuit_duration_ns_batch,
     esp,
+    esp_batch,
     esp_components,
+    esp_components_batch,
     esp_to_hellinger,
+    esp_to_hellinger_batch,
     estimate_fidelity_analytic,
+    estimate_fidelity_analytic_batch,
+    extract_esp_features,
 )
 from .noise import GateNoise, NoiseModel, QubitNoise
 from .readout import (
@@ -26,7 +41,9 @@ from .readout import (
 from .statevector import (
     MAX_STATEVECTOR_QUBITS,
     apply_gate,
+    apply_gate_to_matrix,
     apply_matrix,
+    apply_matrix_batched,
     expectation_z,
     ideal_probabilities,
     sample_counts,
@@ -36,9 +53,16 @@ from .statevector import (
 from .trajectory import NoisyResult, NoisySimulator
 
 __all__ = [
+    "ARRAY_BACKEND_ENV",
+    "ArrayBackend",
+    "NumpyBackend",
+    "make_array_backend",
+    "register_array_backend",
     "MAX_STATEVECTOR_QUBITS",
     "apply_gate",
+    "apply_gate_to_matrix",
     "apply_matrix",
+    "apply_matrix_batched",
     "expectation_z",
     "ideal_probabilities",
     "sample_counts",
@@ -59,9 +83,16 @@ __all__ = [
     "full_confusion_matrix",
     "NoisyResult",
     "NoisySimulator",
+    "CircuitEspFeatures",
+    "extract_esp_features",
     "circuit_duration_ns",
+    "circuit_duration_ns_batch",
     "esp",
+    "esp_batch",
     "esp_components",
+    "esp_components_batch",
     "esp_to_hellinger",
+    "esp_to_hellinger_batch",
     "estimate_fidelity_analytic",
+    "estimate_fidelity_analytic_batch",
 ]

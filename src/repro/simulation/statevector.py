@@ -4,6 +4,15 @@ Gate application reshapes the 2**n amplitude vector into a tensor and
 contracts the gate matrix over the target axes — no Python loop over
 amplitudes, per the HPC guides. Practical up to ~20 qubits.
 
+The contraction is written batched: :func:`apply_matrix_batched` evolves a
+whole ``(batch, 2**n)`` stack of states with a single tensordot per gate
+(the trajectory simulator stacks all its trajectories this way, and
+:func:`apply_gate_to_matrix` treats the columns of a unitary as the
+batch).  The single-state :func:`apply_matrix` is a thin view over the
+batched path.  Array primitives route through
+:mod:`repro.simulation.array_ops`, so a GPU backend swaps in without
+touching this module.
+
 Qubit convention: qubit 0 is the *least significant* bit of the basis-state
 index (little-endian), matching how counts are reported as bitstrings with
 qubit 0 rightmost.
@@ -15,11 +24,13 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate
+from .array_ops import ArrayBackend, make_array_backend
 
 __all__ = [
     "zero_state",
     "apply_gate",
     "apply_matrix",
+    "apply_matrix_batched",
     "apply_gate_to_matrix",
     "simulate_statevector",
     "ideal_probabilities",
@@ -42,26 +53,48 @@ def zero_state(num_qubits: int) -> np.ndarray:
     return state
 
 
+def apply_matrix_batched(
+    states,
+    matrix,
+    qubits: tuple[int, ...],
+    num_qubits: int,
+    backend: ArrayBackend | str | None = None,
+):
+    """Apply a k-qubit ``matrix`` to ``qubits`` of a ``(batch, 2**n)`` stack.
+
+    Each stacked state is viewed as a rank-n tensor with axis ``i``
+    corresponding to qubit ``n-1-i`` (C-order: qubit 0 varies fastest);
+    the batch is a leading axis.  One ``tensordot`` contracts the gate
+    over the target axes of every state at once, followed by an axis
+    move — the batched generalization of the single-state contraction,
+    bit-identical per row to applying the gate state by state.
+    """
+    b = make_array_backend(backend)
+    xp = b.xp
+    batch = states.shape[0]
+    k = len(qubits)
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    # Axis of qubit q in the batch-leading C-ordered tensor:
+    axes = [1 + num_qubits - 1 - q for q in qubits]
+    gate_tensor = b.asarray(matrix).reshape((2,) * (2 * k))
+    # tensordot contracts the *last* k axes of gate_tensor (the input
+    # indices) with the target axes of the state tensor.
+    moved = b.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    # Output axes of the gate land first, in qubit order; move them back
+    # (the batch axis and untouched qubit axes keep their relative order,
+    # so the same positions identify the targets afterwards).
+    moved = b.moveaxis(moved, range(k), axes)
+    return xp.ascontiguousarray(moved).reshape(batch, -1)
+
+
 def apply_matrix(
     state: np.ndarray, matrix: np.ndarray, qubits: tuple[int, ...], num_qubits: int
 ) -> np.ndarray:
-    """Apply a k-qubit unitary ``matrix`` to ``qubits`` of ``state``.
+    """Apply a k-qubit unitary ``matrix`` to ``qubits`` of one statevector.
 
-    The state is viewed as a rank-n tensor with axis ``i`` corresponding to
-    qubit ``n-1-i`` (C-order: qubit 0 varies fastest). The matrix is applied
-    by ``np.tensordot`` over the target axes followed by an axis move.
+    Thin view over :func:`apply_matrix_batched` with a batch of one.
     """
-    k = len(qubits)
-    tensor = state.reshape((2,) * num_qubits)
-    # Axis of qubit q in the C-ordered tensor:
-    axes = [num_qubits - 1 - q for q in qubits]
-    gate_tensor = matrix.reshape((2,) * (2 * k))
-    # tensordot contracts the *last* k axes of gate_tensor (the input indices)
-    # with the target axes of the state tensor.
-    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
-    # Output axes of the gate land first, in qubit order; move them back.
-    moved = np.moveaxis(moved, range(k), axes)
-    return np.ascontiguousarray(moved).reshape(-1)
+    return apply_matrix_batched(state.reshape(1, -1), matrix, qubits, num_qubits)[0]
 
 
 def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
@@ -70,13 +103,14 @@ def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
 
 
 def apply_gate_to_matrix(mat: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
-    """Left-multiply a full 2**n x 2**n matrix by a gate (column-wise apply)."""
-    out = np.empty_like(mat)
-    for col in range(mat.shape[1]):
-        out[:, col] = apply_matrix(
-            np.ascontiguousarray(mat[:, col]), gate.matrix(), gate.qubits, num_qubits
-        )
-    return out
+    """Left-multiply a full 2**n x 2**n matrix by a gate.
+
+    The columns are a batch of statevectors, so one batched contraction
+    replaces the former per-column Python loop.
+    """
+    cols = np.ascontiguousarray(mat.T)
+    out = apply_matrix_batched(cols, gate.matrix(), gate.qubits, num_qubits)
+    return np.ascontiguousarray(out.T)
 
 
 def simulate_statevector(circuit: Circuit) -> np.ndarray:
@@ -130,22 +164,26 @@ def sample_counts(
     shots: int,
     rng: np.random.Generator,
     num_qubits: int | None = None,
+    *,
+    backend: ArrayBackend | str | None = None,
 ) -> dict[str, int]:
     """Draw ``shots`` samples from a probability vector into a counts dict.
 
-    Keys are bitstrings with qubit 0 rightmost (little-endian display).
+    The draw is one vectorized multinomial through the array backend
+    (bit-identical to ``rng.multinomial`` on the NumPy backend); only the
+    observed outcomes are materialized as dict entries.  Keys are
+    bitstrings with qubit 0 rightmost (little-endian display).
     """
+    b = make_array_backend(backend)
     n = int(np.log2(len(probabilities))) if num_qubits is None else num_qubits
     probs = np.clip(probabilities, 0.0, None)
     total = probs.sum()
     if total <= 0:
         raise ValueError("probability vector sums to zero")
     probs = probs / total
-    draws = rng.multinomial(shots, probs)
-    counts: dict[str, int] = {}
-    for idx in np.nonzero(draws)[0]:
-        counts[format(idx, f"0{n}b")] = int(draws[idx])
-    return counts
+    draws = b.to_numpy(b.multinomial(rng, shots, probs))
+    observed = np.nonzero(draws)[0]
+    return {format(idx, f"0{n}b"): int(draws[idx]) for idx in observed}
 
 
 def expectation_z(state: np.ndarray, qubit: int, num_qubits: int) -> float:

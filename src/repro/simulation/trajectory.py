@@ -14,9 +14,23 @@ Noise is injected between ideal gates along an ASAP schedule of the circuit:
 * **Readout errors** — per-qubit confusion matrices applied to the final
   distribution (:mod:`repro.simulation.readout`).
 
-Averaging ``num_trajectories`` pure-state runs converges to the
+All trajectories evolve together as one ``(num_trajectories, 2**n)``
+array: each gate is a single batched contraction
+(:func:`~repro.simulation.statevector.apply_matrix_batched`), quasi-static
+phases broadcast per trajectory, and stochastic Pauli kicks apply to the
+masked sub-batch where they fire.  Averaging the batch converges to the
 density-matrix result at statevector cost — this plays the role Qiskit
 Aer's noisy FakeBackends play in the paper's evaluation (§8.2).
+
+RNG contract: randomness is drawn in **fixed-shape batches** in schedule
+order — one ``(T, n)`` normal for the detunings (bit-identical to ``T``
+sequential per-trajectory draws from the same stream), then one
+length-``T`` draw per decision point (decoherence window, or noisy gate's
+fire/victim/pauli triple — victim and pauli are drawn unconditionally so
+the stream never depends on which trajectories fire).  The draw pass and
+the evolution pass are split (:meth:`NoisySimulator._draw_randomness` /
+:meth:`NoisySimulator._evolve_trajectories`), so the same draws can be
+replayed per trajectory to verify the batched contractions.
 """
 
 from __future__ import annotations
@@ -28,9 +42,10 @@ import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import gate_matrix
+from .array_ops import ArrayBackend, make_array_backend
 from .noise import NoiseModel
 from .readout import apply_readout_noise_probs
-from .statevector import apply_gate, apply_matrix, sample_counts, zero_state
+from .statevector import apply_matrix_batched, sample_counts
 
 __all__ = ["NoisySimulator", "NoisyResult", "QUASI_STATIC_FRACTION"]
 
@@ -39,6 +54,7 @@ _PAULIS = {
     "y": gate_matrix("y"),
     "z": gate_matrix("z"),
 }
+_PAULI_NAMES = ("x", "y", "z")
 
 _PROJECTORS = (
     np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex),
@@ -62,6 +78,34 @@ class NoisyResult:
     num_trajectories: int
 
 
+@dataclass
+class _TrajectoryDraws:
+    """All randomness of one batched run, in schedule order.
+
+    ``windows`` holds one uniform ``(T,)`` draw per decoherence window;
+    the ``gate_*`` lists hold the fire/victim/pauli triples of every
+    noisy unitary gate.  :meth:`select` slices out one trajectory so a
+    per-trajectory reference run can replay the identical randomness.
+    """
+
+    num_trajectories: int
+    detunings: np.ndarray  # (T, n) scaled detunings, rad/ns
+    windows: list[np.ndarray]
+    gate_fire: list[np.ndarray]
+    gate_victim: list[np.ndarray]
+    gate_pauli: list[np.ndarray]
+
+    def select(self, t: int) -> "_TrajectoryDraws":
+        return _TrajectoryDraws(
+            num_trajectories=1,
+            detunings=self.detunings[t : t + 1],
+            windows=[w[t : t + 1] for w in self.windows],
+            gate_fire=[f[t : t + 1] for f in self.gate_fire],
+            gate_victim=[v[t : t + 1] for v in self.gate_victim],
+            gate_pauli=[p[t : t + 1] for p in self.gate_pauli],
+        )
+
+
 class NoisySimulator:
     """Trajectory-averaged noisy simulator for a given :class:`NoiseModel`."""
 
@@ -73,6 +117,7 @@ class NoisySimulator:
         seed: int | None = None,
         include_idle_noise: bool = True,
         quasi_static_fraction: float = QUASI_STATIC_FRACTION,
+        backend: ArrayBackend | str | None = None,
     ) -> None:
         if num_trajectories < 1:
             raise ValueError("num_trajectories must be >= 1")
@@ -82,6 +127,7 @@ class NoisySimulator:
         self.num_trajectories = num_trajectories
         self.include_idle_noise = include_idle_noise
         self.quasi_static_fraction = quasi_static_fraction
+        self.array_backend = make_array_backend(backend)
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -104,7 +150,9 @@ class NoisySimulator:
             )
         rng = rng or self._rng
         probs = self.noisy_probabilities(circuit, rng=rng)
-        counts = sample_counts(probs, shots, rng, circuit.num_qubits)
+        counts = sample_counts(
+            probs, shots, rng, circuit.num_qubits, backend=self.array_backend
+        )
         return NoisyResult(
             counts=counts,
             probabilities=probs,
@@ -119,12 +167,14 @@ class NoisySimulator:
         """Trajectory-averaged outcome distribution including readout noise."""
         rng = rng or self._rng
         n = circuit.num_qubits
-        timeline = self._build_timeline(circuit)
-        acc = np.zeros(2**n)
-        for _ in range(self.num_trajectories):
-            state = self._run_trajectory(circuit, timeline, rng)
-            acc += np.abs(state) ** 2
-        acc /= self.num_trajectories
+        b = self.array_backend
+        plan = self._noise_plan(circuit)
+        draws = self._draw_randomness(circuit, plan, rng)
+        states = self._evolve_trajectories(circuit, plan, draws)
+        acc = b.to_numpy(
+            b.einsum("ti,ti->i", states.conj(), states).real
+        )
+        acc = acc / self.num_trajectories
         return apply_readout_noise_probs(acc, self.noise_model, n)
 
     # ------------------------------------------------------------------
@@ -158,10 +208,47 @@ class NoisySimulator:
                 finish[q] = start + dur
         return timeline
 
-    def _sample_detunings(
-        self, num_qubits: int, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Per-trajectory quasi-static angular detunings (rad/ns)."""
+    def _noise_plan(self, circuit: Circuit) -> list[tuple]:
+        """The deterministic event sequence of one run, in schedule order.
+
+        Events: ``("window", qubit, dt_ns)`` for a decoherence window,
+        ``("unitary", op_index)`` for an ideal gate application,
+        ``("gate_error", op_index, error, qubits)`` for a noisy gate's
+        stochastic Pauli kick, and ``("project", op_index)``.  Both the
+        draw pass and the evolution pass iterate this plan, which is what
+        keeps their randomness consumption in lockstep.
+        """
+        nm = self.noise_model
+        ops = circuit.ops
+        last_end = [0.0] * circuit.num_qubits
+        plan: list[tuple] = []
+        for idx, start, dur in self._build_timeline(circuit):
+            g = ops[idx]
+            if g.name == "barrier":
+                continue
+            # Idle decoherence on each involved qubit since its last activity.
+            if self.include_idle_noise:
+                for q in g.qubits:
+                    gap = start - last_end[q]
+                    if gap > 0.0:
+                        plan.append(("window", q, gap))
+            if g.is_unitary:
+                plan.append(("unitary", idx))
+                gn = nm.gate_noise(g.name, g.qubits)
+                if gn.error > 0.0:
+                    plan.append(("gate_error", idx, gn.error, g.qubits))
+            elif g.name == "project":
+                plan.append(("project", idx))
+            # Decoherence over the op duration itself (gates, delays, readout).
+            if dur > 0.0:
+                for q in g.qubits:
+                    plan.append(("window", q, dur))
+            for q in g.qubits:
+                last_end[q] = start + dur
+        return plan
+
+    def _detuning_sigmas(self, num_qubits: int) -> np.ndarray:
+        """Per-qubit quasi-static detuning widths (rad/ns)."""
         nm = self.noise_model
         sigmas = np.empty(num_qubits)
         for q in range(num_qubits):
@@ -171,70 +258,132 @@ class NoisySimulator:
             # Gaussian quasi-static: coherence e^{-sigma^2 t^2 / 2}; match
             # e^{-t/Tphi} at t = Tphi => sigma = sqrt(2)/Tphi.
             sigmas[q] = math.sqrt(2.0) / tphi_ns * self.quasi_static_fraction
-        return rng.normal(0.0, 1.0, num_qubits) * sigmas
+        return sigmas
 
-    def _run_trajectory(
-        self,
-        circuit: Circuit,
-        timeline: list[tuple[int, float, float]],
-        rng: np.random.Generator,
+    def _draw_randomness(
+        self, circuit: Circuit, plan: list[tuple], rng: np.random.Generator
+    ) -> _TrajectoryDraws:
+        """Draw the run's randomness as fixed-shape length-T batches.
+
+        The ``(T, n)`` detuning normal consumes the generator's stream
+        bit-identically to T sequential per-trajectory draws; every plan
+        decision point then takes one length-T draw (victim/pauli integers
+        unconditionally), so the stream shape depends only on the circuit.
+        """
+        b = self.array_backend
+        t = self.num_trajectories
+        sigmas = self._detuning_sigmas(circuit.num_qubits)
+        detunings = (
+            b.normal(rng, 0.0, 1.0, (t, circuit.num_qubits)) * sigmas
+        )
+        windows: list[np.ndarray] = []
+        fire: list[np.ndarray] = []
+        victim: list[np.ndarray] = []
+        pauli: list[np.ndarray] = []
+        for ev in plan:
+            if ev[0] == "window":
+                windows.append(b.random(rng, t))
+            elif ev[0] == "gate_error":
+                fire.append(b.random(rng, t))
+                victim.append(b.integers(rng, len(ev[3]), t))
+                pauli.append(b.integers(rng, 3, t))
+        return _TrajectoryDraws(
+            num_trajectories=t,
+            detunings=detunings,
+            windows=windows,
+            gate_fire=fire,
+            gate_victim=victim,
+            gate_pauli=pauli,
+        )
+
+    def _evolve_trajectories(
+        self, circuit: Circuit, plan: list[tuple], draws: _TrajectoryDraws
     ) -> np.ndarray:
+        """Evolve ``draws.num_trajectories`` stacked states through the plan.
+
+        Pure in ``draws``: slicing the draws (:meth:`_TrajectoryDraws.select`)
+        and evolving each trajectory separately yields bit-equivalent rows,
+        which is the batched-vs-loop equivalence the tests assert.
+        """
         n = circuit.num_qubits
-        state = zero_state(n)
-        nm = self.noise_model
-        detuning = self._sample_detunings(n, rng)
-        last_end = [0.0] * n
+        b = self.array_backend
         ops = circuit.ops
-
-        markov_frac = 1.0 - self.quasi_static_fraction
-
-        def decohere_window(state: np.ndarray, q: int, dt_ns: float) -> np.ndarray:
-            if dt_ns <= 0.0:
-                return state
-            # Coherent quasi-static dephasing (refocusable by DD pulses).
-            phi = detuning[q] * dt_ns
-            if abs(phi) > 1e-12:
-                state = apply_matrix(
-                    state, gate_matrix("rz", phi), (q,), n
+        t = draws.num_trajectories
+        states = b.zeros((t, 2**n), dtype=complex)
+        states[:, 0] = 1.0
+        wi = gi = 0
+        for ev in plan:
+            if ev[0] == "window":
+                states = self._decohere_window_batch(
+                    states, ev[1], ev[2], draws, wi, n
                 )
-            p_ad, p_pd = nm.decoherence_probs(q, dt_ns)
-            r = rng.random()
-            # Stochastic amplitude damping, Pauli-twirled.
-            p_x = p_ad / 4.0
-            p_y = p_ad / 4.0
-            p_z = p_ad / 4.0 + markov_frac * p_pd / 2.0
-            if r < p_x:
-                return apply_matrix(state, _PAULIS["x"], (q,), n)
-            if r < p_x + p_y:
-                return apply_matrix(state, _PAULIS["y"], (q,), n)
-            if r < p_x + p_y + p_z:
-                return apply_matrix(state, _PAULIS["z"], (q,), n)
-            return state
-
-        for idx, start, dur in timeline:
-            g = ops[idx]
-            if g.name == "barrier":
-                continue
-            # Idle decoherence on each involved qubit since its last activity.
-            if self.include_idle_noise:
-                for q in g.qubits:
-                    gap = start - last_end[q]
-                    if gap > 0.0:
-                        state = decohere_window(state, q, gap)
-            if g.is_unitary:
-                state = apply_gate(state, g, n)
-                gn = nm.gate_noise(g.name, g.qubits)
-                if gn.error > 0.0 and rng.random() < gn.error:
-                    victim = g.qubits[int(rng.integers(len(g.qubits)))]
-                    pauli = ("x", "y", "z")[int(rng.integers(3))]
-                    state = apply_matrix(state, _PAULIS[pauli], (victim,), n)
-            elif g.name == "project":
+                wi += 1
+            elif ev[0] == "unitary":
+                g = ops[ev[1]]
+                states = apply_matrix_batched(
+                    states, g.matrix(), g.qubits, n, backend=b
+                )
+            elif ev[0] == "gate_error":
+                _, _, error, qubits = ev
+                fired = draws.gate_fire[gi] < error
+                vic = draws.gate_victim[gi]
+                pau = draws.gate_pauli[gi]
+                gi += 1
+                if fired.any():
+                    for v in range(len(qubits)):
+                        for p, name in enumerate(_PAULI_NAMES):
+                            m = fired & (vic == v) & (pau == p)
+                            if m.any():
+                                states[m] = apply_matrix_batched(
+                                    states[m], _PAULIS[name],
+                                    (qubits[v],), n, backend=b,
+                                )
+            else:  # project
+                g = ops[ev[1]]
                 proj = _PROJECTORS[int(g.params[0])]
-                state = apply_matrix(state, proj, g.qubits, n)
-            # Decoherence over the op duration itself (gates, delays, readout).
-            if dur > 0.0:
-                for q in g.qubits:
-                    state = decohere_window(state, q, dur)
-            for q in g.qubits:
-                last_end[q] = start + dur
-        return state
+                states = apply_matrix_batched(
+                    states, proj, g.qubits, n, backend=b
+                )
+        return states
+
+    def _decohere_window_batch(
+        self,
+        states: np.ndarray,
+        q: int,
+        dt_ns: float,
+        draws: _TrajectoryDraws,
+        window_index: int,
+        num_qubits: int,
+    ) -> np.ndarray:
+        """One decoherence window on qubit ``q`` over the whole batch.
+
+        The coherent quasi-static dephasing is a per-trajectory RZ — a
+        diagonal broadcast multiply, one fused pass for all trajectories.
+        The stochastic part draws one uniform per trajectory and applies
+        the selected Pauli to the masked sub-batch.
+        """
+        b = self.array_backend
+        xp = b.xp
+        # Coherent quasi-static dephasing (refocusable by DD pulses):
+        # rz(phi) = diag(e^{-i phi/2}, e^{+i phi/2}) per trajectory.
+        phi = draws.detunings[:, q] * dt_ns
+        bits = (xp.arange(states.shape[1]) >> q) & 1
+        states = states * xp.exp(1j * xp.outer(phi, bits - 0.5))
+        p_ad, p_pd = self.noise_model.decoherence_probs(q, dt_ns)
+        markov_frac = 1.0 - self.quasi_static_fraction
+        # Stochastic amplitude damping, Pauli-twirled.
+        p_x = p_ad / 4.0
+        p_y = p_ad / 4.0
+        p_z = p_ad / 4.0 + markov_frac * p_pd / 2.0
+        r = draws.windows[window_index]
+        masks = (
+            r < p_x,
+            (r >= p_x) & (r < p_x + p_y),
+            (r >= p_x + p_y) & (r < p_x + p_y + p_z),
+        )
+        for m, name in zip(masks, _PAULI_NAMES):
+            if m.any():
+                states[m] = apply_matrix_batched(
+                    states[m], _PAULIS[name], (q,), num_qubits, backend=b
+                )
+        return states

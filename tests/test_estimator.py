@@ -236,3 +236,199 @@ class TestPlans:
             k: t.calibration.mean_error_2q for k, t in trained.templates.items()
         }
         assert before != after
+
+
+# ---------------------------------------------------------------------------
+# The unified estimate-source surface (EstimateSource / estimate_block)
+# ---------------------------------------------------------------------------
+
+import os  # noqa: E402
+import subprocess  # noqa: E402
+import sys  # noqa: E402
+
+from repro.cloud import AnalyticEstimateSource  # noqa: E402
+from repro.cloud.execution import (  # noqa: E402
+    QPU_SETUP_SECONDS,
+    SHOT_OVERHEAD_US,
+)
+from repro.cloud.job import feasibility_matrix  # noqa: E402
+from repro.estimator import (  # noqa: E402
+    PairwiseEstimateSource,
+    as_estimate_source,
+    block_feasibility,
+)
+from repro.simulation import esp, esp_to_hellinger  # noqa: E402
+from repro.workloads import ghz  # noqa: E402
+
+
+def _jobs_with_circuits(widths=(2, 4, 3, 6, 27)):
+    return [QuantumJob.from_circuit(ghz_linear(w), shots=2000) for w in widths]
+
+
+class TestEstimateSourceAdapter:
+    def test_bare_callable_warns_and_adapts(self, fleet):
+        jobs = _jobs_with_circuits()
+        with pytest.warns(DeprecationWarning, match="estimate_block"):
+            source = as_estimate_source(lambda job, qpu: (0.8, 5.0))
+        assert isinstance(source, PairwiseEstimateSource)
+        assert source(jobs[0], fleet[0]) == (0.8, 5.0)
+        fid, sec = source.estimate_block(jobs, fleet)
+        feas = feasibility_matrix(jobs, fleet)
+        assert np.array_equal(fid, np.where(feas, 0.8, 0.0))
+        assert np.array_equal(sec, np.where(feas, 5.0, 0.0))
+
+    def test_estimate_for_qpu_object_warns_and_adapts(self, fleet):
+        class Legacy:
+            def estimate_for_qpu(self, job, qpu):
+                return 0.7, 3.0
+
+        jobs = _jobs_with_circuits((2, 3))
+        with pytest.warns(DeprecationWarning, match="estimate_for_qpu"):
+            source = as_estimate_source(Legacy())
+        fid, sec = source.estimate_block(jobs, fleet)
+        assert fid[0, 0] == 0.7 and sec[0, 0] == 3.0
+
+    def test_block_capable_source_passes_through(self, trained):
+        cached = trained.cached()
+        assert as_estimate_source(cached) is cached
+        assert as_estimate_source(trained) is trained
+
+    def test_unadaptable_raises(self):
+        with pytest.raises(TypeError):
+            as_estimate_source(42)
+
+    def test_adapter_forwards_recalibration(self):
+        seen = []
+
+        class Legacy:
+            def estimate_for_qpu(self, job, qpu):
+                return 0.5, 1.0
+
+            def on_recalibration(self, qpus):
+                seen.append(len(qpus))
+
+        with pytest.warns(DeprecationWarning):
+            source = as_estimate_source(Legacy())
+        source.on_recalibration([1, 2, 3])
+        assert seen == [3]
+
+    def test_block_feasibility_matches_cloud_matrix(self, fleet):
+        jobs = _jobs_with_circuits()
+        assert np.array_equal(
+            block_feasibility(jobs, fleet), feasibility_matrix(jobs, fleet)
+        )
+
+
+class TestEstimateBlock:
+    def test_trained_block_matches_pairwise(self, trained, fleet):
+        jobs = _jobs_with_circuits()
+        fid, sec = trained.estimate_block(jobs, fleet)
+        feas = feasibility_matrix(jobs, fleet)
+        for i, job in enumerate(jobs):
+            for k, qpu in enumerate(fleet):
+                if not feas[i, k]:
+                    assert fid[i, k] == 0.0 and sec[i, k] == 0.0
+                    continue
+                pf, ps = trained.estimate_for_qpu(job, qpu)
+                assert abs(fid[i, k] - pf) <= 1e-12
+                assert abs(sec[i, k] - ps) <= 1e-12
+
+    def test_cached_block_matches_trained_block(self, trained, fleet):
+        jobs = _jobs_with_circuits()
+        ref_fid, ref_sec = trained.estimate_block(jobs, fleet)
+        cached = trained.cached()
+        for _ in range(2):  # second pass served from memo
+            fid, sec = cached.estimate_block(jobs, fleet)
+            np.testing.assert_allclose(fid, ref_fid, rtol=0, atol=1e-12)
+            np.testing.assert_allclose(sec, ref_sec, rtol=0, atol=1e-12)
+        assert cached.stats.hits > 0
+
+    def test_estimate_matrix_alias_warns(self, trained, fleet):
+        jobs = _jobs_with_circuits()
+        cached = trained.cached()
+        block = cached.estimate_block(jobs, fleet)
+        with pytest.warns(DeprecationWarning, match="estimate_block"):
+            alias = cached.estimate_matrix(jobs, fleet)
+        assert np.array_equal(block[0], alias[0])
+        assert np.array_equal(block[1], alias[1])
+
+
+class TestAnalyticEstimateSource:
+    def test_block_matches_esp_math(self, fleet):
+        jobs = _jobs_with_circuits((2, 3, 5, 4))
+        source = AnalyticEstimateSource()
+        fid, sec = source.estimate_block(jobs, fleet)
+        feas = feasibility_matrix(jobs, fleet)
+        for i, job in enumerate(jobs):
+            for k, qpu in enumerate(fleet):
+                if not feas[i, k]:
+                    assert fid[i, k] == 0.0 and sec[i, k] == 0.0
+                    continue
+                nm = qpu.noise_model
+                expect_fid = esp_to_hellinger(
+                    esp(job.circuit, nm), job.num_qubits
+                )
+                from repro.simulation import circuit_duration_ns
+
+                per_shot = (
+                    circuit_duration_ns(job.circuit, nm) / 1e9
+                    + SHOT_OVERHEAD_US / 1e6
+                )
+                expect_sec = QPU_SETUP_SECONDS + job.shots * per_shot
+                assert abs(fid[i, k] - expect_fid) <= 1e-12
+                assert abs(sec[i, k] - expect_sec) <= 1e-9
+
+    def test_pair_view_matches_block(self, fleet):
+        job = _jobs_with_circuits((4,))[0]
+        source = AnalyticEstimateSource()
+        pf, ps = source(job, fleet[0])
+        fid, sec = source.estimate_block([job], [fleet[0]])
+        assert pf == fid[0, 0] and ps == sec[0, 0]
+
+    def test_requires_circuits(self, fleet):
+        job = QuantumJob.from_circuit(ghz(3), keep_circuit=False)
+        with pytest.raises(ValueError, match="keep_circuit"):
+            AnalyticEstimateSource().estimate_block([job], fleet)
+
+    def test_drives_scheduling_policy(self, fleet):
+        from repro.scheduler import FCFSPolicy
+
+        jobs = _jobs_with_circuits((2, 3, 4))
+        policy = FCFSPolicy(AnalyticEstimateSource())
+        out = policy.assign(jobs, fleet, {})
+        assert all(name is not None for _, name in out)
+
+
+class TestArrayBackendEnvIdentity:
+    def test_run_bit_identical_under_explicit_env(self):
+        """A seeded sharded run with ARRAY_BACKEND=numpy exported must be
+        bit-identical to the default-backend run (the CI tier-1 job sets
+        the variable explicitly)."""
+        script = (
+            "import json, sys\n"
+            "sys.path.insert(0, 'tests')\n"
+            "from helpers.determinism import fake_estimate, run_sharded\n"
+            "from repro.scheduler import FCFSPolicy\n"
+            "m = run_sharded(FCFSPolicy(fake_estimate), 'serial',"
+            " duration=300.0)\n"
+            "state = {k: repr(v) for k, v in"
+            " sorted(m.deterministic_state().items())}\n"
+            "print(json.dumps(state))\n"
+        )
+        outs = []
+        for env_backend in (None, "numpy"):
+            env = dict(os.environ)
+            env.pop("ARRAY_BACKEND", None)
+            if env_backend is not None:
+                env["ARRAY_BACKEND"] = env_backend
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout.strip().splitlines()[-1])
+        assert outs[0] == outs[1]

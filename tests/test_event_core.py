@@ -377,7 +377,7 @@ class TestCacheEquivalence:
 
     def test_matrix_matches_pairwise(self, setup):
         estimator, fleet, jobs = setup
-        fid, sec = estimator.cached().estimate_matrix(jobs, fleet)
+        fid, sec = estimator.cached().estimate_block(jobs, fleet)
         for i, job in enumerate(jobs):
             for k, qpu in enumerate(fleet):
                 if job.num_qubits > qpu.num_qubits:

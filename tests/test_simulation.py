@@ -266,3 +266,261 @@ class TestESP:
         nm = NoiseModel.uniform(4, duration_2q_ns=300.0)
         c = Circuit(4).cx(0, 1).cx(2, 3)
         assert circuit_duration_ns(c, nm) == pytest.approx(300.0)
+
+
+# ---------------------------------------------------------------------------
+# Array-ops backend and batched hot-path equivalence
+# ---------------------------------------------------------------------------
+
+from repro.simulation import (  # noqa: E402
+    ARRAY_BACKEND_ENV,
+    NumpyBackend,
+    apply_matrix_batched,
+    circuit_duration_ns_batch,
+    esp_batch,
+    esp_components_batch,
+    extract_esp_features,
+    make_array_backend,
+    register_array_backend,
+)
+from repro.simulation import array_ops as _array_ops  # noqa: E402
+from repro.workloads import qft, random_circuit  # noqa: E402
+
+
+class TestArrayBackend:
+    def test_default_is_numpy(self):
+        b = make_array_backend()
+        assert isinstance(b, NumpyBackend)
+        assert b.name == "numpy" and b.xp is np
+
+    def test_by_name_and_instance_passthrough(self):
+        b = make_array_backend("numpy")
+        assert make_array_backend(b) is b
+        # Instances are cached per name.
+        assert make_array_backend("numpy") is b
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "numpy")
+        assert isinstance(make_array_backend(), NumpyBackend)
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "no-such-backend")
+        with pytest.raises(KeyError):
+            make_array_backend()
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="numpy"):
+            make_array_backend("no-such-backend")
+
+    def test_register_custom_backend(self):
+        class Tagged(NumpyBackend):
+            name = "tagged"
+
+        register_array_backend("tagged", Tagged)
+        try:
+            assert isinstance(make_array_backend("tagged"), Tagged)
+        finally:
+            _array_ops._FACTORIES.pop("tagged", None)
+            _array_ops._INSTANCES.pop("tagged", None)
+
+    def test_batched_normal_bit_identical_to_sequential(self):
+        """The RNG contract: one (T, n) draw == T sequential (n,) draws."""
+        b = make_array_backend()
+        block = b.normal(np.random.default_rng(11), 0.0, 1.0, (7, 5))
+        rng = np.random.default_rng(11)
+        rows = np.stack([rng.normal(0.0, 1.0, 5) for _ in range(7)])
+        assert np.array_equal(block, rows)
+
+    def test_sample_counts_matches_raw_multinomial(self):
+        probs = ideal_probabilities(Circuit(3).h(0).cx(0, 1).cx(1, 2))
+        counts = sample_counts(probs, 1000, np.random.default_rng(5), 3)
+        draws = np.random.default_rng(5).multinomial(1000, probs / probs.sum())
+        expect = {
+            format(i, "03b"): int(v) for i, v in enumerate(draws) if v
+        }
+        assert counts == expect
+
+
+def _legacy_duration_ns(circuit, nm):
+    """Sequential critical-path walk (the pre-batched implementation)."""
+    finish = [0.0] * circuit.num_qubits
+    for g in circuit.ops:
+        if g.name == "barrier":
+            wires = g.qubits if g.qubits else tuple(range(circuit.num_qubits))
+            sync = max((finish[q] for q in wires), default=0.0)
+            for q in wires:
+                finish[q] = sync
+            continue
+        if g.name == "delay":
+            finish[g.qubits[0]] += g.params[0]
+            continue
+        if g.name in ("measure", "reset", "project"):
+            dur = nm.readout_duration_ns
+        elif g.is_unitary:
+            dur = nm.gate_noise(g.name, g.qubits).duration_ns
+        else:
+            dur = 0.0
+        start = max(finish[q] for q in g.qubits)
+        for q in g.qubits:
+            finish[q] = start + dur
+    return max(finish, default=0.0)
+
+
+def _legacy_components(circuit, nm):
+    """Sequential per-op ESP walk (the pre-batched implementation)."""
+    log_gate = 0.0
+    log_readout = 0.0
+    for g in circuit.ops:
+        if g.is_unitary:
+            err = nm.gate_noise(g.name, g.qubits).error
+            if err >= 1.0:
+                return {"gate": -math.inf, "readout": 0.0, "decoherence": 0.0}
+            log_gate += math.log1p(-err)
+        elif g.name == "measure":
+            err = nm.qubits[g.qubits[0]].readout_error
+            if err >= 1.0:
+                return {"gate": 0.0, "readout": -math.inf, "decoherence": 0.0}
+            log_readout += math.log1p(-err)
+    duration_us = _legacy_duration_ns(circuit, nm) / 1000.0
+    log_decoh = 0.0
+    for q in circuit.used_qubits():
+        qn = nm.qubits[q]
+        inv_tphi = max(0.0, 1.0 / qn.t2_us - 0.5 / qn.t1_us)
+        log_decoh += -duration_us / qn.t1_us * 0.5
+        log_decoh += -duration_us * inv_tphi * 0.5
+    return {"gate": log_gate, "readout": log_readout, "decoherence": log_decoh}
+
+
+def _equivalence_circuits():
+    """A mix exercising every scheduling feature the batched walk handles."""
+    circuits = [
+        ghz(3),
+        ghz_linear(6).power(2),
+        qft(4, measure=True),
+        Circuit(4).cx(0, 1).delay(120.0, 2).barrier().cx(2, 3).measure_all(),
+        Circuit(2).h(0).barrier(0).delay(50.0, 1).cx(0, 1).measure(1),
+        Circuit(5).x(0).reset(0).cx(0, 4).project(1, 4),
+    ]
+    for seed, width in ((3, 3), (5, 5), (9, 7)):
+        circuits.append(
+            random_circuit(width, depth=6, two_qubit_prob=0.4, seed=seed)
+        )
+    return circuits
+
+
+def _equivalence_models(num_qubits=8):
+    uniform = NoiseModel.uniform(
+        num_qubits, error_2q=0.02, readout_error=0.03, duration_2q_ns=320.0
+    )
+    hetero = NoiseModel.uniform(
+        num_qubits, t1_us=60.0, t2_us=35.0, error_2q=0.03, readout_error=0.04
+    )
+    hetero.gates_1q[("sx", 0)] = GateNoise(error=0.004, duration_ns=70.0)
+    hetero.gates_1q[("rz", 2)] = GateNoise(error=0.0, duration_ns=0.0)
+    hetero.gates_2q[(0, 1)] = GateNoise(error=0.055, duration_ns=410.0)
+    return [uniform, hetero]
+
+
+class TestBatchedEspEquivalence:
+    def test_components_match_sequential_walk(self):
+        circuits = _equivalence_circuits()
+        for nm in _equivalence_models():
+            batch = esp_components_batch(circuits, nm)
+            for i, c in enumerate(circuits):
+                ref = _legacy_components(c, nm)
+                for key in ("gate", "readout", "decoherence"):
+                    assert batch[key][i] == pytest.approx(
+                        ref[key], abs=1e-12
+                    ), (c.name, key)
+
+    def test_durations_match_sequential_walk(self):
+        circuits = _equivalence_circuits()
+        for nm in _equivalence_models():
+            durs = circuit_duration_ns_batch(circuits, nm)
+            for i, c in enumerate(circuits):
+                assert durs[i] == _legacy_duration_ns(c, nm)
+
+    def test_single_circuit_views_are_thin(self):
+        nm = _equivalence_models()[1]
+        c = _equivalence_circuits()[3]
+        batch = esp_components_batch([c], nm)
+        single = esp_components(c, nm)
+        for key in ("gate", "readout", "decoherence"):
+            assert single[key] == batch[key][0]
+        assert circuit_duration_ns(c, nm) == batch["duration_ns"][0]
+        assert esp(c, nm) == esp_batch([c], nm)[0]
+
+    def test_certain_failure_short_circuits(self):
+        # Gate errors are validated < 1, so the only reachable certain
+        # failure is a fully-scrambled readout (p01 = p10 = 1).
+        nm = NoiseModel.uniform(2, error_2q=0.02)
+        nm.qubits[1] = QubitNoise(
+            t1_us=100.0, t2_us=80.0, readout_p01=1.0, readout_p10=1.0
+        )
+        c = Circuit(2).cx(0, 1).measure_all()
+        comps = esp_components(c, nm)
+        assert comps == {"gate": 0.0, "readout": -math.inf, "decoherence": 0.0}
+        assert esp(c, nm) == 0.0
+        assert _legacy_components(c, nm) == comps
+
+    def test_feature_cache_tracks_op_identity(self):
+        c = ghz(4)
+        feats = extract_esp_features(c)
+        assert extract_esp_features(c) is feats  # memoized on metadata
+        copied = c.copy()
+        assert extract_esp_features(copied) is not feats  # new ops list
+
+    def test_mixed_widths_in_one_block(self):
+        nm = NoiseModel.uniform(9, error_2q=0.02, readout_error=0.02)
+        circuits = [ghz(2), ghz_linear(9), ghz(5)]
+        values = esp_batch(circuits, nm)
+        for i, c in enumerate(circuits):
+            assert values[i] == pytest.approx(esp(c, nm), abs=1e-12)
+
+
+class TestBatchedTrajectoryEquivalence:
+    def test_same_seed_same_probs(self):
+        nm = NoiseModel.uniform(3, error_2q=0.02, readout_error=0.02)
+        c = ghz(3)
+        p1 = NoisySimulator(nm, num_trajectories=12, seed=9).noisy_probabilities(c)
+        p2 = NoisySimulator(nm, num_trajectories=12, seed=9).noisy_probabilities(c)
+        assert np.array_equal(p1, p2)
+
+    def test_explicit_backend_bit_identical(self):
+        nm = NoiseModel.uniform(3, error_2q=0.02, readout_error=0.02)
+        c = ghz_linear(3)
+        default = NoisySimulator(nm, num_trajectories=10, seed=4)
+        explicit = NoisySimulator(
+            nm, num_trajectories=10, seed=4, backend="numpy"
+        )
+        assert np.array_equal(
+            default.noisy_probabilities(c), explicit.noisy_probabilities(c)
+        )
+
+    def test_batched_matches_single_trajectory_replay(self):
+        """Evolving the (T, 2**n) stack must be bit-equivalent to replaying
+        each trajectory alone with its slice of the shared draws."""
+        nm = NoiseModel.uniform(
+            4, t1_us=60.0, t2_us=35.0, error_2q=0.03, readout_error=0.04
+        )
+        c = ghz_linear(4)
+        sim = NoisySimulator(nm, num_trajectories=8, seed=21)
+        plan = sim._noise_plan(c)
+        draws = sim._draw_randomness(c, plan, np.random.default_rng(21))
+        stacked = sim._evolve_trajectories(c, plan, draws)
+        for t in range(8):
+            lone = sim._evolve_trajectories(c, plan, draws.select(t))
+            np.testing.assert_allclose(
+                stacked[t], lone[0], rtol=0.0, atol=1e-12
+            )
+
+    def test_batched_gate_apply_matches_per_state(self):
+        rng = np.random.default_rng(3)
+        states = rng.normal(size=(5, 8)) + 1j * rng.normal(size=(5, 8))
+        gate = Circuit(3).cx(0, 2).ops[0]
+        batched = apply_matrix_batched(states, gate.matrix(), gate.qubits, 3)
+        from repro.simulation import apply_matrix
+
+        for row in range(5):
+            assert np.array_equal(
+                batched[row],
+                apply_matrix(states[row], gate.matrix(), gate.qubits, 3),
+            )
