@@ -10,6 +10,7 @@ from .availability import (
 from .backend_sim import SimulatedQPU
 from .cycle_executor import (
     CycleExecutor,
+    CycleHandle,
     ProcessCycleExecutor,
     SerialCycleExecutor,
     ThreadCycleExecutor,
@@ -62,6 +63,7 @@ __all__ = [
     "ExecutionRecord",
     "SimulatedQPU",
     "CycleExecutor",
+    "CycleHandle",
     "SerialCycleExecutor",
     "ThreadCycleExecutor",
     "ProcessCycleExecutor",

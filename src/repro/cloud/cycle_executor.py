@@ -24,9 +24,21 @@ Backends:
   hosts: each cycle's matrices are small to ship and the optimization
   stage is hundreds of milliseconds of pure NumPy work.
 
-Single-task batches always run inline on every backend: the arrival-path
-cycles (one shard firing on its queue limit) never pay pool overhead, and
-the results are identical by construction.
+Two calling conventions share the backends:
+
+* ``run(fn, tasks)`` — synchronous: block until every result is ready.
+  Single-task batches always run inline on every backend, so the
+  arrival-path cycles (one shard firing on its queue limit) never pay
+  pool overhead.
+* ``submit(fn, tasks) -> handle`` / ``result(handle)`` — asynchronous:
+  ``submit`` hands the batch to the backend and returns immediately with
+  an opaque :class:`CycleHandle`; ``result`` blocks until the batch is
+  done and returns results in task order.  The serial backend resolves
+  at submit time (there is no other thread to overlap with), pooled
+  backends return pending futures.  ``submit`` never takes the
+  single-task inline shortcut — the caller asked for overlap, and an
+  inline run would serialize it; the simulator uses ``run`` whenever the
+  fold is immediate.
 
 Selection: pass a backend name (``"serial"`` / ``"thread"`` /
 ``"process"``, optionally ``"thread:8"`` for a worker count) or an
@@ -44,6 +56,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
 __all__ = [
     "CycleExecutor",
+    "CycleHandle",
     "SerialCycleExecutor",
     "ThreadCycleExecutor",
     "ProcessCycleExecutor",
@@ -52,6 +65,25 @@ __all__ = [
 
 #: Environment variable naming the default backend (e.g. ``thread:4``).
 CYCLE_EXECUTOR_ENV = "CYCLE_EXECUTOR"
+
+
+class CycleHandle:
+    """Opaque receipt for a submitted batch; redeem via ``result()``.
+
+    Exactly one of ``futures`` / ``results`` is set: pooled backends
+    carry one future per task, the serial backend carries the already
+    computed results.
+    """
+
+    __slots__ = ("futures", "results")
+
+    def __init__(self, futures=None, results=None) -> None:
+        self.futures = futures
+        self.results = results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "resolved" if self.results is not None else "pending"
+        return f"CycleHandle({state})"
 
 
 class CycleExecutor:
@@ -63,8 +95,24 @@ class CycleExecutor:
         """Apply ``fn`` to every task, returning results in task order."""
         raise NotImplementedError
 
+    def submit(self, fn: Callable, tasks: Sequence) -> CycleHandle:
+        """Start a batch without waiting for it; redeem via ``result``."""
+        raise NotImplementedError
+
+    def result(self, handle: CycleHandle) -> list:
+        """Block until a submitted batch is done; results in task order."""
+        if handle.results is not None:
+            return handle.results
+        handle.results = [future.result() for future in handle.futures]
+        handle.futures = None
+        return handle.results
+
     def close(self) -> None:
-        """Release worker resources (idempotent; pools rebuild lazily)."""
+        """Release worker resources (idempotent; pools rebuild lazily).
+
+        Pooled backends wait for in-flight futures first, so a handle
+        submitted before ``close`` can still be redeemed after it.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -77,6 +125,12 @@ class SerialCycleExecutor(CycleExecutor):
 
     def run(self, fn: Callable, tasks: Sequence) -> list:
         return [fn(task) for task in tasks]
+
+    def submit(self, fn: Callable, tasks: Sequence) -> CycleHandle:
+        # No second thread to overlap with: resolve inline at submit
+        # time.  Simulated-time pipelining still works — the fold event
+        # just finds the results already computed.
+        return CycleHandle(results=self.run(fn, tasks))
 
 
 class _PooledCycleExecutor(CycleExecutor):
@@ -98,6 +152,17 @@ class _PooledCycleExecutor(CycleExecutor):
         if self._pool is None:
             self._pool = self._make_pool()
         return list(self._pool.map(fn, tasks))
+
+    def submit(self, fn: Callable, tasks: Sequence) -> CycleHandle:
+        if not tasks:
+            return CycleHandle(results=[])
+        # Deliberately no single-task inline shortcut here: submit exists
+        # so the event loop can overlap this batch with other work (and
+        # with *other* in-flight batches), which an inline run would
+        # forfeit.
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return CycleHandle(futures=[self._pool.submit(fn, task) for task in tasks])
 
     def close(self) -> None:
         if self._pool is not None:

@@ -99,6 +99,11 @@ class FleetShard:
         # Batched policies expose .schedule() (the Qonductor scheduler);
         # per-arrival baselines expose .assign().
         self.is_batched = hasattr(policy, "schedule")
+        #: The pipelined engine's in-flight marker: the batch record of a
+        #: cycle whose CYCLE_FOLD event has not popped yet, else ``None``.
+        #: While set, new arrivals queue in ``pending`` for the *next*
+        #: cycle and the shard's trigger pops are deferred to the fold.
+        self.in_flight = None
         self.jobs_routed = 0
         # Work-stealing accounting (fed by RebalancePolicy moves).
         self.jobs_stolen_in = 0
@@ -324,17 +329,31 @@ class RebalancePolicy:
     tenants queued behind it keep their position.  Off by default, and
     queues without tenant-tagged jobs always use the plain scan order,
     so untenanted runs are bit-identical either way.
+
+    With ``react_to_outages=True``, the simulator additionally schedules
+    an immediate rebalance check when an ``AVAILABILITY`` event takes a
+    QPU offline, instead of stranding the affected shard's queue until
+    the next periodic tick.  The check runs at the outage instant through
+    the same deterministic :meth:`rebalance` path (after every
+    same-instant availability flip has been folded, before any
+    same-instant trigger), so seeded runs stay reproducible.  Off by
+    default: purely periodic runs are bit-identical to before.
     """
 
     name = "base"
 
     def __init__(
-        self, *, interval_seconds: float = 60.0, tenant_aware: bool = False
+        self,
+        *,
+        interval_seconds: float = 60.0,
+        tenant_aware: bool = False,
+        react_to_outages: bool = False,
     ) -> None:
         if interval_seconds <= 0:
             raise ValueError("interval_seconds must be > 0")
         self.interval_seconds = interval_seconds
         self.tenant_aware = tenant_aware
+        self.react_to_outages = react_to_outages
 
     def rebalance(
         self, shards: list[FleetShard], now: float
@@ -403,9 +422,12 @@ class ThresholdRebalancePolicy(RebalancePolicy):
         min_gap: int = 4,
         interval_seconds: float = 60.0,
         tenant_aware: bool = False,
+        react_to_outages: bool = False,
     ) -> None:
         super().__init__(
-            interval_seconds=interval_seconds, tenant_aware=tenant_aware
+            interval_seconds=interval_seconds,
+            tenant_aware=tenant_aware,
+            react_to_outages=react_to_outages,
         )
         if min_gap < 2:
             raise ValueError("min_gap must be >= 2 (a 1-job gap ping-pongs)")
@@ -548,9 +570,12 @@ class StealHalfRebalancePolicy(RebalancePolicy):
         min_victim_depth: int = 4,
         interval_seconds: float = 60.0,
         tenant_aware: bool = False,
+        react_to_outages: bool = False,
     ) -> None:
         super().__init__(
-            interval_seconds=interval_seconds, tenant_aware=tenant_aware
+            interval_seconds=interval_seconds,
+            tenant_aware=tenant_aware,
+            react_to_outages=react_to_outages,
         )
         if min_victim_depth < 2:
             raise ValueError("min_victim_depth must be >= 2")

@@ -86,8 +86,18 @@ class SimulationMetrics:
     #: (``preprocess`` / ``optimize`` / ``select`` summed over cycles,
     #: plus ``optimize_wall``: what the optimization stage cost the event
     #: loop per batch — under a parallel executor this is the max over
-    #: workers, not the sum, which is the whole point).
+    #: workers, not the sum, and under the pipelined engine it is
+    #: overlap-adjusted: submit cost plus however long the fold still had
+    #: to block, i.e. only the part the event loop could not hide).
     stage_seconds: dict = field(default_factory=dict)
+    #: Pipelined-engine accounting (simulated time, so deterministic):
+    #: batches whose fold popped *after* their trigger instant (a modeled
+    #: ``cycle_latency`` was in effect) and the summed trigger->fold lag.
+    pipelined_batches: int = 0
+    fold_lag_seconds: float = 0.0
+    #: TRIGGER events that fired early because they fell inside the
+    #: ε-window of a coalescing batch head (``trigger_epsilon > 0``).
+    epsilon_merged_triggers: int = 0
     #: Estimate-cache counters, when the scheduling policy exposes a cache.
     estimate_cache: dict = field(default_factory=dict)
     #: Multi-tenancy accounting (see :mod:`repro.cloud.tenancy`); only
@@ -232,6 +242,10 @@ class SimulationMetrics:
             "unschedulable_jobs": self.unschedulable_jobs,
             "pending_at_horizon": self.pending_at_horizon,
             "scheduling_cycles": self.scheduling_cycles,
+            "cycle_batches": self.cycle_batches,
+            "pipelined_batches": self.pipelined_batches,
+            "fold_lag_seconds": round(self.fold_lag_seconds, 3),
+            "epsilon_merged_triggers": self.epsilon_merged_triggers,
             "rebalance_cycles": self.rebalance_cycles,
             "jobs_migrated": self.jobs_migrated,
             "per_shard_steals": dict(self.per_shard_steals),

@@ -41,15 +41,35 @@ Two optional subsystems make the fleet *adaptive*:
   feasible underloaded ones.  Both are off by default, leaving static
   runs bit-identical.
 
-**The parallel scheduling engine:** TRIGGER deadlines that fire at the
-same simulated instant are coalesced into one batch; each due shard's
-pre-processing runs on the main thread (prefetching estimates through
-the shared cache), the pure optimization stage of the whole batch is
-dispatched to a :class:`~repro.cloud.cycle_executor.CycleExecutor`
-(serial / thread / process — serial is the default), and results fold
-back in shard-id order so metrics, RNG draws, heap pushes, and
-estimate-cache updates are identical on every backend.  Pass
-``cycle_executor="process"`` (or set ``CYCLE_EXECUTOR``) to overlap
+**The pipelined scheduling engine:** a firing TRIGGER batch runs each
+due shard's pre-processing on the main thread (prefetching estimates
+through the shared cache), submits the pure optimization stage to a
+:class:`~repro.cloud.cycle_executor.CycleExecutor` (serial / thread /
+process — serial is the default), and pushes a ``CYCLE_FOLD`` heap event
+at ``t_trigger + latency_model(batch)``; when that event pops, results
+fold back in shard-id order so metrics, RNG draws, heap pushes, and
+estimate-cache updates are identical on every backend.  Three knobs:
+
+* ``cycle_latency`` — the modeled scheduler runtime (seconds, or a
+  callable over the batch's tasks, e.g.
+  :class:`~repro.scheduler.cycle.NsgaCycleLatencyModel`).  The fold
+  instant is *simulated* time, never wall-clock, so nonzero-latency runs
+  are deterministic by construction and seeded runs reproduce on every
+  backend.  At the default ``0`` the fold pops at the trigger instant
+  before any other event, bit-identical to the synchronous engine.
+  Jobs arriving while a shard's cycle is in flight queue as pending and
+  join the next cycle; the shard's trigger pops are deferred until the
+  fold re-arms its deadline.
+* ``trigger_epsilon`` — TRIGGERs within ε seconds of a batch head
+  coalesce into one engine batch (exact same-instant ties always
+  coalesce, so ε=0 keeps the legacy behavior), which is what lets
+  arrival-driven and bursty fleets form multi-task batches worth
+  shipping to the process pool.
+* ``pipeline`` — force the async submit/fold path even at zero latency
+  (also via the ``CYCLE_PIPELINE`` environment variable), so the event
+  loop keeps draining heap events while workers optimize.
+
+Pass ``cycle_executor="process"`` (or set ``CYCLE_EXECUTOR``) to overlap
 concurrently-due NSGA-II cycles on a worker pool.
 """
 
@@ -57,15 +77,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import time
-from collections.abc import Iterable, Iterator
-from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
 from enum import IntEnum
 
 import numpy as np
 
 from ..backends.qpu import QPU
-from ..scheduler.cycle import run_optimization
+from ..scheduler.cycle import make_latency_model, run_optimization
 from ..scheduler.triggers import SchedulingTrigger
 from .availability import AvailabilityModel
 from .backend_sim import SimulatedQPU
@@ -83,17 +104,32 @@ from .job import HybridApplication, JobStatus
 from .metrics import SimulationMetrics, TimeSeries
 from .tenancy import AdmissionController, AdmissionDecision
 
-__all__ = ["CloudSimulator", "SimulationConfig", "EventType"]
+__all__ = [
+    "CloudSimulator",
+    "SimulationConfig",
+    "EventType",
+    "CYCLE_PIPELINE_ENV",
+]
+
+#: Environment variable: any truthy value ("1"/"true"/"yes"/"on") makes
+#: simulators default to the async submit/fold path even at zero modeled
+#: latency — the same engine CI exercises on every push.
+CYCLE_PIPELINE_ENV = "CYCLE_PIPELINE"
 
 
 class EventType(IntEnum):
     """Heap tie-break priorities at equal timestamps.
 
-    Completions land before samples so a sample at time t sees every
-    application with ``finish_time <= t``; recalibration, sampling,
-    arrivals, and trigger deadlines keep the processing order of the
-    original time-stepping loop.  Availability flips land right after
-    completions so routing at time t sees the fleet state *at* t.
+    Cycle folds come first: a fold scheduled for time t commits decisions
+    made strictly earlier, so every other time-t event must see the
+    post-fold fleet state — and at the default zero latency this is what
+    makes the pipelined engine bit-identical to the old inline cycle,
+    which also ran before any other same-instant event could be
+    processed.  Completions land before samples so a sample at time t
+    sees every application with ``finish_time <= t``; recalibration,
+    sampling, arrivals, and trigger deadlines keep the processing order
+    of the original time-stepping loop.  Availability flips land right
+    after completions so routing at time t sees the fleet state *at* t.
     Rebalancing sees every same-instant arrival but runs *before*
     trigger deadlines: a rebalance tick aligned with a trigger deadline
     migrates the queued backlog first, and the triggers then schedule
@@ -101,13 +137,14 @@ class EventType(IntEnum):
     ever see freshly drained queues and steal nothing).
     """
 
-    COMPLETION = 0
-    AVAILABILITY = 1
-    RECALIBRATION = 2
-    SAMPLE = 3
-    ARRIVAL = 4
-    REBALANCE = 5
-    TRIGGER = 6
+    CYCLE_FOLD = 0
+    COMPLETION = 1
+    AVAILABILITY = 2
+    RECALIBRATION = 3
+    SAMPLE = 4
+    ARRIVAL = 5
+    REBALANCE = 6
+    TRIGGER = 7
 
 
 @dataclass
@@ -118,6 +155,24 @@ class SimulationConfig:
     sample_every_seconds: float = 120.0
     recalibrate_every_seconds: float | None = None
     seed: int = 0
+
+
+@dataclass
+class _InFlightBatch:
+    """One launched engine batch awaiting its ``CYCLE_FOLD`` event.
+
+    ``items`` holds ``(shard, plan, schedule)`` per due shard in shard-id
+    order: split-API policies carry their :class:`CyclePlan` (``schedule``
+    is resolved at the fold), non-split policies already computed their
+    schedule from the snapshot at submit time.  Exactly one of ``handle``
+    (async submit) / ``results`` (synchronous run) is set when the batch
+    carried optimization tasks.
+    """
+
+    items: list = field(default_factory=list)
+    handle: object | None = None
+    results: list | None = None
+    submit_time: float = 0.0
 
 
 class CloudSimulator:
@@ -143,6 +198,9 @@ class CloudSimulator:
         availability: AvailabilityModel | None = None,
         cycle_executor: str | CycleExecutor | None = None,
         admission: AdmissionController | None = None,
+        cycle_latency: float | Callable | None = None,
+        trigger_epsilon: float = 0.0,
+        pipeline: bool | None = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.execution_model = execution_model or ExecutionModel(
@@ -182,6 +240,24 @@ class CloudSimulator:
         # choice is purely a wall-clock decision.
         self.cycle_executor = make_cycle_executor(cycle_executor)
         self._owns_executor = not isinstance(cycle_executor, CycleExecutor)
+        # Pipelined-engine knobs.  ``cycle_latency`` models the
+        # scheduler's own runtime in *simulated* seconds (number or
+        # callable over the batch's tasks); ``trigger_epsilon`` widens
+        # trigger coalescing to a window; ``pipeline`` forces the async
+        # submit/fold path even at zero latency (``None`` consults the
+        # CYCLE_PIPELINE environment variable).  All default to off and
+        # the defaults are bit-identical to the synchronous engine.
+        self.latency_model = make_latency_model(cycle_latency)
+        if trigger_epsilon < 0:
+            raise ValueError(
+                f"trigger_epsilon must be >= 0, got {trigger_epsilon}"
+            )
+        self.trigger_epsilon = float(trigger_epsilon)
+        if pipeline is None:
+            pipeline = os.environ.get(
+                CYCLE_PIPELINE_ENV, ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        self.pipeline = bool(pipeline)
         self._rng = np.random.default_rng(self.config.seed)
 
     @classmethod
@@ -199,6 +275,9 @@ class CloudSimulator:
         availability: AvailabilityModel | None = None,
         cycle_executor: str | CycleExecutor | None = None,
         admission: AdmissionController | None = None,
+        cycle_latency: float | Callable | None = None,
+        trigger_epsilon: float = 0.0,
+        pipeline: bool | None = None,
     ) -> "CloudSimulator":
         """Partition ``fleet`` into ``num_shards`` shards.
 
@@ -209,7 +288,9 @@ class CloudSimulator:
         to a fresh paper-default trigger per shard.  ``rebalance``
         (a strategy name or :class:`RebalancePolicy`) turns on
         work-stealing between the shards; ``availability`` injects
-        maintenance windows and outages.
+        maintenance windows and outages.  ``cycle_latency`` /
+        ``trigger_epsilon`` / ``pipeline`` configure the pipelined
+        engine (see the class docstring).
         """
         policy_factory = policy.spawn if hasattr(policy, "spawn") else policy
         shards = [
@@ -230,6 +311,9 @@ class CloudSimulator:
             availability=availability,
             cycle_executor=cycle_executor,
             admission=admission,
+            cycle_latency=cycle_latency,
+            trigger_epsilon=trigger_epsilon,
+            pipeline=pipeline,
         )
 
     # -- single-shard compatibility views ------------------------------
@@ -299,6 +383,118 @@ class CloudSimulator:
         else:
             bucket["admitted"] += 1
 
+    def _begin_batch(
+        self, shards: list[FleetShard], now: float, metrics
+    ) -> tuple[_InFlightBatch, float]:
+        """Launch one engine batch: snapshot, submit, model the latency.
+
+        ``shards`` must already be in shard-id order.  Each shard's
+        pending queue is snapshotted and cleared — jobs arriving while
+        the batch is in flight queue for the *next* cycle.  Policies
+        exposing the split cycle API (``begin_cycle`` / ``finish_cycle``
+        — the Qonductor scheduler) build their plan on the main thread,
+        with estimates prefetched through the shared cache; policies
+        without it (e.g. batched FCFS) compute their whole schedule from
+        the snapshot now, so a later fold commits exactly the decisions
+        the trigger-time state implied.  The pure optimization stage
+        runs through the executor: synchronously when the batch folds at
+        this same instant (zero latency, no forced pipelining — the
+        single-task inline shortcut keeps arrival-path cycles free of
+        pool overhead), asynchronously via ``submit`` otherwise, letting
+        the event loop drain while workers optimize.
+
+        Returns the in-flight batch record and its modeled latency in
+        simulated seconds; the caller decides when (or whether, for the
+        horizon flush) to push the ``CYCLE_FOLD`` event.
+        """
+        metrics.cycle_batches += 1
+        metrics.max_batch_cycles = max(metrics.max_batch_cycles, len(shards))
+        items: list = []
+        for shard in shards:
+            jobs = shard.pending
+            shard.pending = []
+            if hasattr(shard.policy, "begin_cycle"):
+                plan = shard.policy.begin_cycle(
+                    jobs, shard.qpus, shard.waiting_map(now)
+                )
+                items.append((shard, plan, None))
+            else:
+                schedule = shard.policy.schedule(
+                    jobs, shard.qpus, shard.waiting_map(now)
+                )
+                items.append((shard, None, schedule))
+        latency = max(
+            0.0,
+            float(
+                self.latency_model(
+                    [
+                        plan.task if plan is not None else None
+                        for _, plan, _ in items
+                    ]
+                )
+            ),
+        )
+        tasks = [
+            plan.task
+            for _, plan, _ in items
+            if plan is not None and plan.task is not None
+        ]
+        handle = results = None
+        if tasks:
+            t0 = time.perf_counter()
+            if latency > 0.0 or self.pipeline:
+                handle = self.cycle_executor.submit(run_optimization, tasks)
+            else:
+                results = self.cycle_executor.run(run_optimization, tasks)
+            metrics.stage_seconds["optimize_wall"] = (
+                metrics.stage_seconds.get("optimize_wall", 0.0)
+                + time.perf_counter()
+                - t0
+            )
+        batch = _InFlightBatch(
+            items=items, handle=handle, results=results, submit_time=now
+        )
+        for shard in shards:
+            shard.in_flight = batch
+        return batch, latency
+
+    def _fold_batch(
+        self, batch: _InFlightBatch, now: float, metrics, apps_by_job,
+        on_finish,
+    ) -> None:
+        """Fold a launched batch back in, in shard-id order.
+
+        Blocks on the executor handle if workers are still running (the
+        blocked wait — not the full stage — lands in ``optimize_wall``,
+        so the metric reports what the optimization stage actually cost
+        the event loop after overlap).  Dispatch RNG draws, completion
+        pushes, metrics, and cache updates all happen here in shard-id
+        order, identical whichever backend — or worker — ran each cycle.
+        """
+        results = batch.results
+        if batch.handle is not None:
+            t0 = time.perf_counter()
+            results = self.cycle_executor.result(batch.handle)
+            metrics.stage_seconds["optimize_wall"] = (
+                metrics.stage_seconds.get("optimize_wall", 0.0)
+                + time.perf_counter()
+                - t0
+            )
+        result_iter = iter(results) if results is not None else None
+        for shard, plan, schedule in batch.items:
+            if plan is not None:
+                result = next(result_iter) if plan.task is not None else None
+                schedule = shard.policy.finish_cycle(plan, result)
+            self._apply_schedule(
+                shard, schedule, now, metrics, apps_by_job, on_finish
+            )
+        lag = now - batch.submit_time
+        if lag > 0.0:
+            metrics.pipelined_batches += 1
+            metrics.fold_lag_seconds += lag
+        for shard, _, _ in batch.items:
+            shard.in_flight = None
+
     def _run_cycles(
         self,
         shards: list[FleetShard],
@@ -307,59 +503,13 @@ class CloudSimulator:
         apps_by_job,
         on_finish,
     ) -> None:
-        """Run one batched scheduling cycle per shard, as one engine batch.
-
-        ``shards`` must already be in shard-id order.  Policies exposing
-        the split cycle API (``begin_cycle`` / ``finish_cycle`` — the
-        Qonductor scheduler) snapshot their inputs on the main thread
-        first, with estimates prefetched through the shared cache; the
-        pure optimization stage of the whole batch then runs on the cycle
-        executor, and results fold back in shard-id order, so dispatch
-        RNG draws, completion pushes, metrics, and cache updates are
-        identical whichever backend — or worker — ran each cycle.
-        Policies without the split API (e.g. batched FCFS) schedule
-        inline during the fold, which is equally deterministic because
-        shards own disjoint devices and queues.
-        """
+        """One engine batch, begun and folded at the same instant —
+        the horizon-flush path (and the zero-latency semantics every
+        pipelined run must reproduce at its fold instants)."""
         if not shards:
             return
-        metrics.cycle_batches += 1
-        metrics.max_batch_cycles = max(metrics.max_batch_cycles, len(shards))
-        plans = [
-            (
-                shard,
-                shard.policy.begin_cycle(
-                    shard.pending, shard.qpus, shard.waiting_map(now)
-                )
-                if hasattr(shard.policy, "begin_cycle")
-                else None,
-            )
-            for shard in shards
-        ]
-        tasks = [
-            plan.task
-            for _, plan in plans
-            if plan is not None and plan.task is not None
-        ]
-        if tasks:
-            t0 = time.perf_counter()
-            results = iter(self.cycle_executor.run(run_optimization, tasks))
-            metrics.stage_seconds["optimize_wall"] = (
-                metrics.stage_seconds.get("optimize_wall", 0.0)
-                + time.perf_counter()
-                - t0
-            )
-        for shard, plan in plans:
-            if plan is None:
-                schedule = shard.policy.schedule(
-                    shard.pending, shard.qpus, shard.waiting_map(now)
-                )
-            else:
-                result = next(results) if plan.task is not None else None
-                schedule = shard.policy.finish_cycle(plan, result)
-            self._apply_schedule(
-                shard, schedule, now, metrics, apps_by_job, on_finish
-            )
+        batch, _ = self._begin_batch(shards, now, metrics)
+        self._fold_batch(batch, now, metrics, apps_by_job, on_finish)
 
     def _apply_schedule(
         self, shard: FleetShard, schedule, now: float, metrics, apps_by_job,
@@ -400,7 +550,10 @@ class CloudSimulator:
                 retained.append(job)
             else:
                 self._fail(job, metrics, apps_by_job)
-        shard.pending = retained
+        # Prepend: retained jobs arrived before anything queued while the
+        # batch was in flight, so they keep their arrival-order position.
+        # (Empty pending at zero latency — plain reassignment back then.)
+        shard.pending[:0] = retained
 
     def _schedule_immediate(
         self, shard: FleetShard, jobs: list, now: float, metrics, apps_by_job,
@@ -482,8 +635,29 @@ class CloudSimulator:
                 # The executor was resolved from a name/env spec, so this
                 # run is its only user: release the workers even when the
                 # event loop raises (a later run() lazily rebuilds them).
-                # Caller-supplied instances stay open for reuse.
+                # Caller-supplied instances stay open for reuse — their
+                # owner calls close() / uses the simulator as a context
+                # manager when done.
                 self.cycle_executor.close()
+
+    def close(self) -> None:
+        """Release the cycle executor's worker pool (idempotent).
+
+        ``run()`` already closes executors the simulator resolved itself
+        from a name or the ``CYCLE_EXECUTOR`` environment variable.
+        Call this — or use the simulator as a context manager — when you
+        passed an executor *instance* to share across runs and are done
+        with it; otherwise a process pool leaks its workers until
+        interpreter exit.  A closed pool rebuilds lazily, so a later
+        ``run()`` still works.
+        """
+        self.cycle_executor.close()
+
+    def __enter__(self) -> "CloudSimulator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _run(
         self, apps: list[HybridApplication] | Iterable[HybridApplication]
@@ -570,21 +744,42 @@ class CloudSimulator:
         def on_finish(app: HybridApplication) -> None:
             push(app.finish_time, EventType.COMPLETION, app)
 
+        def launch(firing: list[FleetShard], now: float) -> None:
+            """Begin one engine batch over ``firing`` (shard-id order)
+            and schedule its fold.  At zero modeled latency the fold
+            event pops at this same instant before any other event —
+            the inline-cycle semantics; with latency it pops later and
+            the loop keeps draining.  The trigger is marked fired at the
+            fold, which also re-arms the interval deadline."""
+            if not firing:
+                return
+            batch, latency = self._begin_batch(firing, now, metrics)
+            push(now + latency, EventType.CYCLE_FOLD, batch)
+
         def fire_if_ready(shard: FleetShard, now: float) -> None:
-            """Run a batch cycle when the shard's trigger condition is
-            met (shared by the arrival and rebalance paths; the TRIGGER
+            """Launch a cycle when the shard's trigger condition is met
+            (shared by the arrival and rebalance paths; the TRIGGER
             deadline handler has its own flow — it always marks the
-            trigger fired, even on an empty queue)."""
-            if shard.trigger.should_fire(len(shard.pending), now):
-                self._run_cycles(
-                    [shard], now, metrics, apps_by_job, on_finish
-                )
-                shard.trigger.fired(now)
-                push(
-                    shard.trigger.next_deadline(now),
-                    EventType.TRIGGER,
-                    shard.shard_id,
-                )
+            trigger fired, even on an empty queue).  A shard with a
+            cycle in flight never fires: its new arrivals queue for the
+            next cycle, which the fold's re-armed deadline (or the next
+            arrival after the fold) picks up."""
+            if shard.in_flight is not None:
+                return
+            if not shard.trigger.should_fire(len(shard.pending), now):
+                return
+            if self.trigger_epsilon > 0.0:
+                # ε-window hold: fire ε later so other shards becoming
+                # eligible inside the window merge into one batch (the
+                # hold flag dedupes — one pending hold per shard).
+                if shard.trigger.arm_hold():
+                    push(
+                        now + self.trigger_epsilon,
+                        EventType.TRIGGER,
+                        (shard.shard_id, "hold"),
+                    )
+                return
+            launch([shard], now)
 
         first = next(stream, None)
         if first is not None:
@@ -615,11 +810,32 @@ class CloudSimulator:
         ):
             push(self.rebalancer.interval_seconds, EventType.REBALANCE)
 
+        # Dedupe proactive outage-rebalance pushes: several QPUs flipping
+        # offline at one instant warrant one immediate check, not one per
+        # flip.
+        outage_rebalance_at: float | None = None
+
         while heap and heap[0][0] < horizon:
             now, kind, _, payload = heapq.heappop(heap)
             metrics.events_processed += 1
 
-            if kind == EventType.COMPLETION:
+            if kind == EventType.CYCLE_FOLD:
+                # A launched batch's decisions commit now; the trigger
+                # fires *at the fold* — the shard spent the in-flight
+                # window unable to start another cycle, so its interval
+                # cadence restarts here.
+                self._fold_batch(
+                    payload, now, metrics, apps_by_job, on_finish
+                )
+                for shard, _, _ in payload.items:
+                    shard.trigger.fired(now)
+                    push(
+                        shard.trigger.next_deadline(now),
+                        EventType.TRIGGER,
+                        shard.shard_id,
+                    )
+
+            elif kind == EventType.COMPLETION:
                 complete(payload)
 
             elif kind == EventType.AVAILABILITY:
@@ -634,6 +850,22 @@ class CloudSimulator:
                 elif not payload.online and qpu.online:
                     metrics.outage_events += 1
                     offline_since[payload.qpu_name] = now
+                    # Proactive stealing (opt-in): an outage strands the
+                    # affected shard's backlog, so schedule an immediate
+                    # rebalance check at this instant instead of waiting
+                    # for the periodic tick.  REBALANCE sorts after the
+                    # remaining same-instant AVAILABILITY flips (the
+                    # check sees the full post-outage state) and before
+                    # same-instant TRIGGERs, exactly like a periodic
+                    # tick would — deterministic ordering preserved.
+                    if (
+                        self.rebalancer is not None
+                        and self.rebalancer.react_to_outages
+                        and len(self.shards) > 1
+                        and outage_rebalance_at != now
+                    ):
+                        outage_rebalance_at = now
+                        push(now, EventType.REBALANCE, "outage")
                 qpu.online = payload.online
 
             elif kind == EventType.REBALANCE:
@@ -649,10 +881,13 @@ class CloudSimulator:
                 for shard in receivers:
                     if shard.is_batched:
                         fire_if_ready(shard, now)
-                push(
-                    now + self.rebalancer.interval_seconds,
-                    EventType.REBALANCE,
-                )
+                # Only the periodic chain re-arms itself; a proactive
+                # outage check (payload "outage") is a one-shot.
+                if payload is None:
+                    push(
+                        now + self.rebalancer.interval_seconds,
+                        EventType.REBALANCE,
+                    )
 
             elif kind == EventType.RECALIBRATION:
                 self._recalibrate(now)
@@ -699,26 +934,68 @@ class CloudSimulator:
                     )
 
             elif kind == EventType.TRIGGER:
-                # Coalesce every TRIGGER deadline landing at this same
-                # simulated instant into one engine batch.  TRIGGER is
-                # the highest-priority-value event kind, so every other
-                # same-time event has already been folded in; the batch
-                # executes in shard-id order (one canonical order for
-                # every executor backend), which is what keeps parallel
-                # runs bit-identical to serial ones.
-                due: list[FleetShard] = []
-                seen: set[int] = set()
+                # Coalesce TRIGGERs into one engine batch: every entry
+                # landing at this same simulated instant always merges
+                # (the ε=0 contract), and with ``trigger_epsilon > 0``
+                # entries up to ε later join too, firing early alongside
+                # the batch head.  TRIGGER is the highest-priority-value
+                # event kind, so every other same-time event has already
+                # been folded in; the batch executes in shard-id order
+                # (one canonical order for every executor backend),
+                # which is what keeps parallel runs bit-identical to
+                # serial ones.  Payloads are either a shard id (an
+                # interval deadline) or ``(shard_id, "hold")`` (an
+                # ε-window hold armed on the arrival path).
+                #
+                # due_info: shard_id -> [shard, fire_time, via_deadline].
+                # ``fire_time`` is the entry's own instant (deadline
+                # freshness and should_fire are judged there — a merged
+                # deadline *would* have fired at its own time, even if
+                # its interval has not elapsed by ``now``);
+                # ``via_deadline`` marks shards whose interval cadence
+                # this batch owns (a non-firing deadline re-arms, a
+                # non-firing hold is simply dropped).
+                due_info: dict[int, list] = {}
 
-                def consider(shard_id: int) -> None:
-                    if shard_id in seen:
-                        return  # duplicate deadline: stale by definition
+                def consider(payload, t_event: float, from_window: bool) -> bool:
+                    """Fold one TRIGGER entry in.  True = consumed;
+                    False = leave it in the heap for its own instant
+                    (window-pulled entries only)."""
+                    if isinstance(payload, tuple):
+                        shard_id, is_hold = payload[0], True
+                    else:
+                        shard_id, is_hold = payload, False
                     shard = self.shards[shard_id]
-                    if now < shard.trigger.next_deadline(now):
-                        return  # stale deadline: the trigger fired meanwhile
-                    seen.add(shard_id)
-                    due.append(shard)
+                    if is_hold:
+                        if not shard.trigger.disarm_hold():
+                            return True  # stale: superseded meanwhile
+                        if shard.in_flight is not None:
+                            return True  # deferred; arrivals re-arm later
+                        if shard_id not in due_info:
+                            due_info[shard_id] = [shard, t_event, False]
+                        return True
+                    if t_event < shard.trigger.next_deadline(t_event):
+                        return True  # stale deadline: fired meanwhile
+                    if shard.in_flight is not None:
+                        # Deferred: the fold re-arms the deadline.  A
+                        # window-pulled entry stays queued and goes
+                        # stale at its own instant.
+                        return not from_window
+                    info = due_info.get(shard_id)
+                    if info is not None:
+                        info[2] = True  # the deadline owns the cadence
+                        return True
+                    if from_window and not shard.trigger.should_fire(
+                        len(shard.pending), t_event
+                    ):
+                        # Would not fire: merging it would only reset an
+                        # idle shard's cadence early.  Leave it queued.
+                        return False
+                    due_info[shard_id] = [shard, t_event, True]
+                    return True
 
-                consider(payload)
+                consider(payload, now, False)
+                # Exact same-instant ties always coalesce (ε=0 contract).
                 while (
                     heap
                     and heap[0][0] == now
@@ -726,28 +1003,79 @@ class CloudSimulator:
                 ):
                     _, _, _, late = heapq.heappop(heap)
                     metrics.events_processed += 1
-                    consider(late)
-                due.sort(key=lambda s: s.shard_id)
-                firing = [
-                    s
-                    for s in due
-                    if s.trigger.should_fire(len(s.pending), now)
-                ]
-                self._run_cycles(
-                    firing, now, metrics, apps_by_job, on_finish
+                    consider(late, now, False)
+                if self.trigger_epsilon > 0.0 and due_info:
+                    # ε-window: pull queued TRIGGERs within ε of the
+                    # batch head forward into this batch.  Entries that
+                    # decline (stale at their own instant / in flight /
+                    # would not fire) are left in place.  Processing in
+                    # (time, push-seq) order — heap pop order — keeps
+                    # the merge deterministic.
+                    window = now + self.trigger_epsilon
+                    kept, pulled = [], []
+                    for entry in heap:
+                        if (
+                            entry[1] == int(EventType.TRIGGER)
+                            and entry[0] <= window
+                        ):
+                            pulled.append(entry)
+                        else:
+                            kept.append(entry)
+                    if pulled:
+                        pulled.sort()
+                        for entry in pulled:
+                            if consider(entry[3], entry[0], True):
+                                metrics.events_processed += 1
+                                if entry[0] > now:
+                                    metrics.epsilon_merged_triggers += 1
+                            else:
+                                kept.append(entry)
+                        heap[:] = kept
+                        heapq.heapify(heap)
+                due = sorted(
+                    due_info.values(), key=lambda info: info[0].shard_id
                 )
-                for shard in due:
-                    shard.trigger.fired(now)
-                    push(
-                        shard.trigger.next_deadline(now),
-                        EventType.TRIGGER,
-                        shard.shard_id,
+                firing = [
+                    shard
+                    for shard, fire_time, _ in due
+                    if shard.trigger.should_fire(
+                        len(shard.pending), fire_time
                     )
+                ]
+                launch(firing, now)
+                firing_ids = {s.shard_id for s in firing}
+                for shard, _, via_deadline in due:
+                    if shard.shard_id in firing_ids:
+                        continue  # fired+re-arm happen at the fold
+                    if via_deadline:
+                        shard.trigger.fired(now)
+                        push(
+                            shard.trigger.next_deadline(now),
+                            EventType.TRIGGER,
+                            shard.shard_id,
+                        )
 
-        # Final flush and bookkeeping: schedule leftovers at the horizon
-        # (one engine batch over every backlogged shard, like an aligned
-        # deadline), fold in completions that land inside it, and take
-        # the last sample.
+        # Final flush and bookkeeping.  First fold any batches still in
+        # flight: their decisions were fixed at launch, the horizon just
+        # truncates the modeled latency, so they commit at the horizon in
+        # launch order — job conservation holds with cycles in flight.
+        in_flight_folds = sorted(
+            (e for e in heap if e[1] == int(EventType.CYCLE_FOLD)),
+            key=lambda e: (e[0], e[2]),
+        )
+        if in_flight_folds:
+            heap[:] = [
+                e for e in heap if e[1] != int(EventType.CYCLE_FOLD)
+            ]
+            heapq.heapify(heap)
+            for _, _, _, batch in in_flight_folds:
+                metrics.events_processed += 1
+                self._fold_batch(
+                    batch, horizon, metrics, apps_by_job, on_finish
+                )
+        # Then schedule leftovers at the horizon (one engine batch over
+        # every backlogged shard, like an aligned deadline), fold in
+        # completions that land inside it, and take the last sample.
         self._run_cycles(
             [s for s in self.shards if s.is_batched and s.pending],
             horizon, metrics, apps_by_job, on_finish,

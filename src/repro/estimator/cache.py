@@ -65,19 +65,41 @@ class CacheStats:
 class EstimateCache:
     """Bounded memo of ``key -> (fidelity, exec_seconds)`` pairs.
 
-    Eviction is generational: when the table exceeds ``max_entries`` it is
-    halved by dropping the oldest insertions (dicts preserve insertion
-    order), which is cheap and good enough for a stream whose working set
-    is the recent circuit mix.
+    Eviction is segmented-LRU: entries enter a *probation* segment on
+    first insertion and are promoted to a *protected* segment (capped at
+    ``protected_fraction`` of ``max_entries``) when hit again; a full
+    protected segment demotes its least-recent entry back to probation,
+    and capacity pressure always evicts probation's least-recent entry
+    first.  Single-touch keys streaming past therefore churn through
+    probation without displacing the re-referenced working set, so the
+    hit rate degrades *gracefully* as ``max_entries`` drops below the
+    working set — the generational-halving scheme this replaces cliffed
+    toward 0% there, because every overflow dropped half the table
+    including its hottest keys.
     """
 
-    def __init__(self, max_entries: int = 200_000) -> None:
+    def __init__(
+        self, max_entries: int = 200_000, *, protected_fraction: float = 0.8
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if not 0.0 <= protected_fraction <= 1.0:
+            raise ValueError("protected_fraction must be in [0, 1]")
         self.max_entries = max_entries
-        self._table: dict[tuple, tuple[float, float]] = {}
+        # At least one probation slot must exist (insertions land there);
+        # with max_entries == 1 the protected segment degenerates away
+        # and the cache behaves as plain LRU.
+        self._protected_cap = min(
+            int(max_entries * protected_fraction), max_entries - 1
+        )
+        # Both segments rely on dict insertion order as recency order:
+        # first item = least recent, re-inserting moves a key to the end.
+        self._probation: dict[tuple, tuple[float, float]] = {}
+        self._protected: dict[tuple, tuple[float, float]] = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._table)
+        return len(self._probation) + len(self._protected)
 
     @staticmethod
     def key(
@@ -86,25 +108,52 @@ class EstimateCache:
         return (metrics.fingerprint, shots, mitigation, qpu.calibration.epoch)
 
     def get(self, key: tuple) -> tuple[float, float] | None:
-        hit = self._table.get(key)
-        if hit is None:
-            self.stats.misses += 1
-        else:
+        hit = self._protected.pop(key, None)
+        if hit is not None:
+            self._protected[key] = hit  # refresh recency
             self.stats.hits += 1
-        return hit
+            return hit
+        hit = self._probation.pop(key, None)
+        if hit is not None:
+            self._promote(key, hit)
+            self.stats.hits += 1
+            return hit
+        self.stats.misses += 1
+        return None
+
+    def _promote(self, key: tuple, value: tuple[float, float]) -> None:
+        """A probation hit earns protection; overflow demotes, not drops.
+
+        Net occupancy is unchanged (one entry moved out of probation, at
+        most one demoted back), so only :meth:`put` grows the cache.
+        """
+        self._protected[key] = value
+        if len(self._protected) > self._protected_cap:
+            old_key = next(iter(self._protected))
+            self._probation[old_key] = self._protected.pop(old_key)
 
     def put(self, key: tuple, value: tuple[float, float]) -> None:
-        table = self._table
-        if len(table) >= self.max_entries:
-            drop = max(1, len(table) // 2)
-            for stale in list(table)[:drop]:
-                del table[stale]
-        table[key] = value
+        if key in self._protected:
+            self._protected[key] = value
+            return
+        if key in self._probation:
+            self._probation[key] = value
+            return
+        while len(self) >= self.max_entries:
+            victim_segment = self._probation or self._protected
+            del victim_segment[next(iter(victim_segment))]
+        self._probation[key] = value
 
     def invalidate(self) -> None:
         """Drop every entry (epoch keys already prevent stale hits)."""
-        self._table.clear()
+        self._probation.clear()
+        self._protected.clear()
         self.stats.invalidations += 1
+
+    def _items_cold_to_hot(self):
+        """Every entry, probation first, least recent first."""
+        yield from self._probation.items()
+        yield from self._protected.items()
 
     # -- persistence ---------------------------------------------------
     #: On-disk format version; bump on incompatible key changes.
@@ -117,11 +166,12 @@ class EstimateCache:
         fidelity, exec_seconds]``; the calibration epoch ``(qpu_name,
         cycle)`` stays part of the key, so a warm-started run can never
         serve an estimate from a dead epoch — at worst a stale entry is
-        loaded and simply never hit.
+        loaded and simply never hit.  Rows are ordered coldest first, so
+        reloading into a smaller cache keeps the hottest entries.
         """
         rows = [
             [list(fp), shots, mit, epoch[0], epoch[1], value[0], value[1]]
-            for (fp, shots, mit, epoch), value in self._table.items()
+            for (fp, shots, mit, epoch), value in self._items_cold_to_hot()
         ]
         payload = {"version": self.FORMAT_VERSION, "entries": rows}
         Path(path).write_text(json.dumps(payload))

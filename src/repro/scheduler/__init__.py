@@ -9,9 +9,12 @@ from .calibration_crossover import (
 )
 from .classical import ClassicalNode, ClassicalRequest, ClassicalScheduler
 from .cycle import (
+    ConstantCycleLatency,
+    NsgaCycleLatencyModel,
     OptimizationResult,
     OptimizationTask,
     cycle_seed,
+    make_latency_model,
     run_optimization,
 )
 from .formulation import SchedulingInput, SchedulingProblem
@@ -41,6 +44,9 @@ __all__ = [
     "OptimizationResult",
     "cycle_seed",
     "run_optimization",
+    "ConstantCycleLatency",
+    "NsgaCycleLatencyModel",
+    "make_latency_model",
     "ClassicalNode",
     "ClassicalRequest",
     "ClassicalScheduler",

@@ -34,7 +34,15 @@ import numpy as np
 from ..moo import NSGA2, Termination
 from .formulation import SchedulingInput, SchedulingProblem
 
-__all__ = ["OptimizationTask", "OptimizationResult", "cycle_seed", "run_optimization"]
+__all__ = [
+    "OptimizationTask",
+    "OptimizationResult",
+    "cycle_seed",
+    "run_optimization",
+    "ConstantCycleLatency",
+    "NsgaCycleLatencyModel",
+    "make_latency_model",
+]
 
 
 def cycle_seed(
@@ -96,3 +104,74 @@ def run_optimization(task: OptimizationTask) -> OptimizationResult:
         evaluations=result.evaluations,
         optimize_seconds=time.perf_counter() - t0,
     )
+
+
+# ---------------------------------------------------------------------------
+# Cycle-latency models
+#
+# The simulator's pipelined engine needs to know *when in simulated time*
+# a batch of cycles folds back: the scheduler's own runtime delays
+# dispatch (the paper's Fig. 9c stage breakdown is exactly that runtime).
+# A latency model maps a batch — the list of per-shard
+# :class:`OptimizationTask` snapshots, ``None`` for shards whose policy
+# has no optimization stage — to a latency in simulated seconds.  The
+# model is a pure function of the batch, so the fold instant never
+# depends on wall-clock worker timing and seeded runs reproduce on every
+# executor backend.
+
+
+@dataclass(frozen=True)
+class ConstantCycleLatency:
+    """Every batch folds a fixed ``seconds`` after its trigger."""
+
+    seconds: float = 0.0
+
+    def __call__(self, tasks) -> float:
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class NsgaCycleLatencyModel:
+    """Latency proportional to the heaviest cycle in the batch.
+
+    One NSGA-II cycle evaluates ``pop_size * max_generations``
+    individuals, each a vector pass over the cycle's jobs, so its runtime
+    scales as ``pop_size * max_generations * n_jobs``.  Cycles in a batch
+    run concurrently on the worker pool, so the batch folds when its
+    *slowest* member does — ``overhead_seconds`` (pre/postprocessing,
+    dispatch) plus the max per-cycle term.  Shards without an
+    optimization stage contribute only the overhead.
+    """
+
+    seconds_per_evaluation: float = 2e-5
+    overhead_seconds: float = 0.05
+
+    def __call__(self, tasks) -> float:
+        if not tasks:
+            return 0.0
+        slowest = max(
+            (
+                t.pop_size * t.max_generations * max(1, t.data.num_jobs)
+                for t in tasks
+                if t is not None
+            ),
+            default=0,
+        )
+        return self.overhead_seconds + slowest * self.seconds_per_evaluation
+
+
+def make_latency_model(spec) -> "ConstantCycleLatency | NsgaCycleLatencyModel":
+    """Resolve a cycle-latency spec to a model callable.
+
+    ``None`` or ``0`` mean the legacy instant fold (bit-identical to the
+    synchronous engine); a number becomes a :class:`ConstantCycleLatency`;
+    any callable (e.g. :class:`NsgaCycleLatencyModel`) passes through.
+    """
+    if spec is None:
+        return ConstantCycleLatency(0.0)
+    if callable(spec):
+        return spec
+    seconds = float(spec)
+    if seconds < 0:
+        raise ValueError(f"cycle latency must be >= 0, got {seconds}")
+    return ConstantCycleLatency(seconds)

@@ -1,8 +1,22 @@
-"""Scheduling triggers (§7): queue-size and time-based invocation."""
+"""Scheduling triggers (§7): queue-size and time-based invocation.
+
+Deferred-trigger contract (pipelined engine): while a shard has a cycle
+in flight, the simulator drops the shard's trigger pops instead of
+firing a second overlapping cycle; the fold calls :meth:`fired` at the
+fold instant and re-arms the next interval deadline from there.  Any
+deadline entries pushed before the fold go stale naturally — they sort
+before the re-armed deadline and fail the ``next_deadline`` check.
+
+ε-window coalescing uses a *hold*: when a shard becomes eligible on the
+arrival path and ``trigger_epsilon > 0``, the simulator arms a hold and
+schedules the actual firing ε later, so other shards becoming eligible
+inside the window merge into one engine batch.  The hold flag here just
+dedupes arming — one pending hold event per shard at a time.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["SchedulingTrigger"]
 
@@ -16,6 +30,7 @@ class SchedulingTrigger:
     queue_limit: int = 100
     interval_seconds: float = 120.0
     _last_fired: float = 0.0
+    _hold_armed: bool = field(default=False, repr=False)
 
     def should_fire(self, queue_size: int, now: float) -> bool:
         if queue_size <= 0:
@@ -29,3 +44,16 @@ class SchedulingTrigger:
 
     def next_deadline(self, now: float) -> float:
         return self._last_fired + self.interval_seconds
+
+    def arm_hold(self) -> bool:
+        """Arm the ε-window hold; False if one is already pending."""
+        if self._hold_armed:
+            return False
+        self._hold_armed = True
+        return True
+
+    def disarm_hold(self) -> bool:
+        """Consume the hold; False if none was armed (stale hold event)."""
+        was_armed = self._hold_armed
+        self._hold_armed = False
+        return was_armed

@@ -83,13 +83,17 @@ def make_shards(widths_per_shard, policy=None):
 
 
 def run_sharded(policy, executor, *, num_shards=3, duration=700.0,
-                rebalance=None, recal=None, tenants=None, admission=None):
+                rebalance=None, recal=None, tenants=None, admission=None,
+                **sim_kwargs):
     """The standard multi-shard MMPP-burst scenario, fully seeded.
 
     One knob set shared by the parallel-engine and tenancy bit-identity
     suites; ``tenants``/``admission`` extend it with a tenant mix on the
     load generator and an admission controller on the simulator (both
-    ``None`` by default — the tenancy-off configuration).
+    ``None`` by default — the tenancy-off configuration).  Extra keyword
+    arguments (e.g. the pipelined engine's ``cycle_latency`` /
+    ``trigger_epsilon`` / ``pipeline``) forward to
+    :meth:`CloudSimulator.sharded`.
     """
     gen = LoadGenerator(
         mean_rate_per_hour=2400,
@@ -116,6 +120,7 @@ def run_sharded(policy, executor, *, num_shards=3, duration=700.0,
         rebalance=rebalance,
         cycle_executor=executor,
         admission=admission,
+        **sim_kwargs,
     )
     return sim.run(gen.generate(duration))
 

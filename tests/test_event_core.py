@@ -247,10 +247,11 @@ class TestEstimateCache:
         assert cached.stats.misses == len(pool)
         assert cached.stats.hits == len(pool) * 4
 
-    def test_working_set_at_capacity_halves_oldest_first(self):
-        """At ``max_entries`` the generational eviction drops the oldest
-        half exactly once per overflow — the table stays bounded, the
-        newest entries survive, and evicted shapes re-miss."""
+    def test_working_set_at_capacity_evicts_one_coldest(self):
+        """At ``max_entries`` the segmented-LRU eviction drops exactly
+        one entry per overflow — the coldest probation entry — so the
+        table stays *full* under churn instead of halving (the old
+        generational scheme dumped half the table, hot keys included)."""
         calls = []
 
         def base(job, qpu):
@@ -266,16 +267,16 @@ class TestEstimateCache:
         for job in pool:
             cached(job, qpu)
         assert len(cached.cache) == 16
-        # One more distinct shape overflows: the oldest half (8) drops,
-        # then the new entry lands -> 9 entries, still bounded.
+        # One more distinct shape overflows: only the single coldest
+        # entry drops, the table stays full.
         extra = QuantumJob.from_circuit(ghz_linear(20), shots=1024)
         cached(extra, qpu)
-        assert len(cached.cache) == 9
-        # The newest pre-overflow shapes survived; the oldest re-miss.
+        assert len(cached.cache) == 16
+        # The oldest single-touch shape was the victim; the rest survive.
         before = len(calls)
-        cached(pool[-1], qpu)  # newest half: still cached
+        cached(pool[-1], qpu)  # recent entry: still cached
         assert len(calls) == before
-        cached(pool[0], qpu)  # oldest half: evicted, re-estimated
+        cached(pool[0], qpu)  # coldest entry: evicted, re-estimated
         assert len(calls) == before + 1
         # However the stream churns, the bound holds.
         for w in range(30, 60):
@@ -283,6 +284,60 @@ class TestEstimateCache:
                 QuantumJob.from_circuit(ghz_linear(w), shots=1024), qpu
             )
             assert len(cached.cache) <= 16
+
+    def test_slru_protects_rereferenced_working_set(self):
+        """Keys hit twice are promoted to the protected segment and
+        survive an arbitrarily long stream of single-touch keys — the
+        graceful-degradation property the capacity sweep measures."""
+        calls = []
+
+        def base(job, qpu):
+            calls.append(job.job_id)
+            return 0.9, 10.0
+
+        qpu = default_fleet(seed=7, names=["lagos"])[0]
+        cached = CachedEstimator(base, max_entries=16)
+        hot = [
+            QuantumJob.from_circuit(ghz_linear(w), shots=1024)
+            for w in range(2, 8)  # 6 hot shapes
+        ]
+        for job in hot:
+            cached(job, qpu)
+        for job in hot:
+            cached(job, qpu)  # second touch: promoted to protected
+        # A scan of 40 distinct one-off shapes churns through probation.
+        for w in range(10, 50):
+            cached(QuantumJob.from_circuit(ghz_linear(w), shots=1024), qpu)
+        assert len(cached.cache) <= 16
+        # Every hot shape is still a hit: the scan could not displace
+        # the protected segment.
+        before = len(calls)
+        for job in hot:
+            assert cached(job, qpu) == (0.9, 10.0)
+        assert len(calls) == before
+
+    def test_slru_demotes_stale_protected_entries(self):
+        """Protection is not tenure: once hotter keys fill the protected
+        segment, its least-recently-used entries demote back to probation
+        and can be evicted like any cold key."""
+        cache = EstimateCache(max_entries=10, protected_fraction=0.5)
+        for i in range(5):
+            cache.put(("old", i), (0.5, 1.0))
+            cache.get(("old", i))  # promote: protected = 5 oldies
+        # 5 new keys promoted on top displace the oldies from protection
+        # (cap 5), demoting them into probation...
+        for i in range(5):
+            cache.put(("new", i), (0.6, 1.0))
+            cache.get(("new", i))
+        # ...where a scan of fresh keys evicts them.
+        for i in range(5):
+            cache.put(("scan", i), (0.7, 1.0))
+        assert len(cache) <= 10
+        hits_before = cache.stats.hits
+        cache.get(("old", 0))
+        assert cache.stats.hits == hits_before  # demoted then evicted
+        cache.get(("new", 4))
+        assert cache.stats.hits == hits_before + 1  # still protected
 
     def test_save_load_roundtrip(self, tmp_path):
         calls = []

@@ -33,11 +33,15 @@ from repro.cloud import (
     make_cycle_executor,
 )
 from repro.cloud.cycle_executor import CYCLE_EXECUTOR_ENV
+from repro.cloud.simulator import CYCLE_PIPELINE_ENV
 from repro.scheduler import (
     BatchedFCFSPolicy,
+    ConstantCycleLatency,
+    NsgaCycleLatencyModel,
     QonductorScheduler,
     SchedulingTrigger,
     cycle_seed,
+    make_latency_model,
     run_optimization,
 )
 
@@ -81,6 +85,44 @@ class TestCycleExecutors:
         ex.close()
         assert ex.run(str, [3, 4]) == ["3", "4"]
         ex.close()
+
+    def test_submit_result_matches_run(self):
+        """The async half of the contract: ``result(submit(...))`` is
+        ``run(...)``, in task order, on every backend."""
+        for ex in (
+            SerialCycleExecutor(),
+            ThreadCycleExecutor(max_workers=4),
+        ):
+            try:
+                handle = ex.submit(lambda x: x * x, list(range(17)))
+                assert ex.result(handle) == [i * i for i in range(17)]
+                # Redeeming twice returns the cached list, not a hang.
+                assert ex.result(handle) == [i * i for i in range(17)]
+            finally:
+                ex.close()
+
+    def test_serial_submit_resolves_inline(self):
+        """Serial ``submit`` computes eagerly — the handle already holds
+        results, so serial pipelined runs stay single-threaded."""
+        ex = SerialCycleExecutor()
+        handle = ex.submit(str, [1, 2])
+        assert handle.results == ["1", "2"]
+        assert handle.futures is None
+
+    def test_empty_submit(self):
+        for ex in (SerialCycleExecutor(), ThreadCycleExecutor(max_workers=2)):
+            try:
+                assert ex.result(ex.submit(str, [])) == []
+            finally:
+                ex.close()
+
+    def test_handle_redeemable_after_close(self):
+        """Regression (S3): ``close()`` waits for in-flight work, so a
+        handle submitted before close still resolves after it."""
+        ex = ThreadCycleExecutor(max_workers=2)
+        handle = ex.submit(lambda x: x + 1, [1, 2, 3])
+        ex.close()
+        assert ex.result(handle) == [2, 3, 4]
 
     def test_simulator_env_selection(self, monkeypatch):
         monkeypatch.setenv(CYCLE_EXECUTOR_ENV, "thread")
@@ -299,6 +341,229 @@ class TestCoalescing:
         assert m.stage_seconds["optimize_wall"] >= (
             0.5 * m.stage_seconds["optimize"]
         )
+
+
+class TestLatencyModels:
+    def test_make_latency_model_resolution(self):
+        assert make_latency_model(None)([]) == 0.0
+        assert make_latency_model(2.5)([None, None]) == 2.5
+        assert isinstance(make_latency_model(0), ConstantCycleLatency)
+        model = NsgaCycleLatencyModel()
+        assert make_latency_model(model) is model
+        with pytest.raises(ValueError):
+            make_latency_model(-1.0)
+
+    def test_nsga_model_scales_with_work(self):
+        from types import SimpleNamespace
+
+        def task(pop, gens, jobs):
+            return SimpleNamespace(
+                pop_size=pop,
+                max_generations=gens,
+                data=SimpleNamespace(num_jobs=jobs),
+            )
+
+        model = NsgaCycleLatencyModel(
+            seconds_per_evaluation=1e-4, overhead_seconds=0.5
+        )
+        small = model([task(20, 10, 5)])
+        big = model([task(40, 20, 50)])
+        assert 0.5 < small < big
+        # Batch latency is the slowest member, not the sum.
+        assert model([task(20, 10, 5), task(40, 20, 50)]) == big
+        # Inline cycles (no OptimizationTask) cost only the overhead;
+        # empty batches cost nothing.
+        assert model([None]) == 0.5
+        assert model([]) == 0.0
+
+
+class TestPipelinedEngine:
+    """The tentpole guarantees: pipelining off-by-default changes nothing,
+    and turned on it stays deterministic across backends and reruns."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread:4"])
+    def test_pipeline_flag_alone_is_bit_identical(self, backend):
+        """``pipeline=True`` with zero modeled latency must be a pure
+        no-op: the fold event fires at the submit instant."""
+        baseline = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            "serial",
+            duration=500.0,
+        )
+        piped = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            backend,
+            duration=500.0,
+            pipeline=True,
+        )
+        assert_runs_identical(baseline, piped)
+        # Zero latency means zero fold lag: nothing counts as pipelined.
+        assert piped.pipelined_batches == 0
+        assert piped.fold_lag_seconds == 0.0
+
+    def test_env_variable_enables_pipeline(self, monkeypatch):
+        def build():
+            return CloudSimulator(
+                fleet_of_size(2, seed=7),
+                BatchedFCFSPolicy(fake_estimate),
+                ExecutionModel(seed=5),
+                config=SimulationConfig(duration_seconds=60.0, seed=5),
+            )
+
+        monkeypatch.delenv(CYCLE_PIPELINE_ENV, raising=False)
+        assert build().pipeline is False
+        monkeypatch.setenv(CYCLE_PIPELINE_ENV, "1")
+        assert build().pipeline is True
+        monkeypatch.setenv(CYCLE_PIPELINE_ENV, "0")
+        assert build().pipeline is False
+
+    def test_modeled_latency_identical_across_backends(self):
+        """Nonzero scheduler latency: the fold instant is simulated time,
+        so serial and process runs still agree bit-for-bit."""
+        kwargs = dict(duration=700.0, cycle_latency=30.0, trigger_epsilon=5.0)
+        serial = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            "serial",
+            **kwargs,
+        )
+        pooled = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            "process:2",
+            **kwargs,
+        )
+        assert_runs_identical(serial, pooled)
+        assert serial.pipelined_batches > 0
+        assert serial.fold_lag_seconds > 0.0
+        # Fold lag is bounded by the constant model: every pipelined
+        # batch waited exactly the modeled 30 s.
+        assert serial.fold_lag_seconds == pytest.approx(
+            30.0 * serial.pipelined_batches
+        )
+        assert serial.dispatched_jobs > 0
+
+    def test_nonzero_latency_seeded_rerun_identical(self):
+        a = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            "thread:4",
+            duration=500.0,
+            cycle_latency=20.0,
+        )
+        b = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            "thread:4",
+            duration=500.0,
+            cycle_latency=20.0,
+        )
+        assert_runs_identical(a, b)
+
+    def test_callable_latency_model_end_to_end(self):
+        m = run_sharded(
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            "serial",
+            duration=500.0,
+            cycle_latency=NsgaCycleLatencyModel(),
+        )
+        assert m.pipelined_batches > 0
+        assert m.dispatched_jobs > 0
+
+    @staticmethod
+    def _epsilon_run(executor, *, trigger_epsilon):
+        """Arrival-driven fleet where per-shard queue-limit triggers fire
+        at distinct instants — the case ε-coalescing exists for."""
+        gen = LoadGenerator(
+            mean_rate_per_hour=2400,
+            max_qubits=27,
+            arrival_process="mmpp",
+            burst_rate_multiplier=6.0,
+            mean_burst_seconds=60.0,
+            mean_calm_seconds=240.0,
+            diurnal=False,
+            seed=4,
+        )
+        sim = CloudSimulator.sharded(
+            fleet_of_size(6, seed=7),
+            QonductorScheduler(fake_estimate, seed=5, max_generations=4),
+            num_shards=3,
+            execution_model=ExecutionModel(seed=5),
+            trigger_factory=lambda i: SchedulingTrigger(
+                queue_limit=5, interval_seconds=10_000
+            ),
+            config=SimulationConfig(duration_seconds=500.0, seed=5),
+            cycle_executor=executor,
+            trigger_epsilon=trigger_epsilon,
+        )
+        return sim.run(gen.generate(500.0))
+
+    def test_epsilon_window_coalesces_arrival_triggers(self):
+        """With ε > 0, near-simultaneous queue-limit triggers on
+        different shards merge into one engine batch; with ε = 0 they
+        run as batches of one (the PR 5 behavior)."""
+        sync = self._epsilon_run("serial", trigger_epsilon=0.0)
+        merged = self._epsilon_run("serial", trigger_epsilon=15.0)
+        assert sync.epsilon_merged_triggers == 0
+        assert merged.epsilon_merged_triggers > 0
+        assert merged.max_batch_cycles >= 2
+        assert merged.cycle_batches < sync.cycle_batches
+        # Coalescing defers work, it must not lose it.
+        assert merged.dispatched_jobs > 0
+
+    def test_epsilon_batch_formation_deterministic(self):
+        serial = self._epsilon_run("serial", trigger_epsilon=15.0)
+        pooled = self._epsilon_run("process:2", trigger_epsilon=15.0)
+        assert_runs_identical(serial, pooled)
+
+
+class TestExecutorLifecycle:
+    """S3 regression: owned pools are released after every run; caller-
+    supplied instances persist until the caller closes them."""
+
+    def _sim(self, executor):
+        return CloudSimulator(
+            fleet_of_size(2, seed=7),
+            BatchedFCFSPolicy(fake_estimate),
+            ExecutionModel(seed=5),
+            config=SimulationConfig(duration_seconds=120.0, seed=5),
+            cycle_executor=executor,
+        )
+
+    def _apps(self):
+        gen = LoadGenerator(
+            mean_rate_per_hour=600, max_qubits=27, diurnal=False, seed=4
+        )
+        return gen.generate(120.0)
+
+    def test_owned_executor_released_after_run(self):
+        sim = self._sim("thread:2")
+        assert sim._owns_executor
+        sim.run(self._apps())
+        assert sim.cycle_executor._pool is None
+
+    def test_supplied_executor_survives_run_until_closed(self):
+        ex = ThreadCycleExecutor(max_workers=2)
+        try:
+            sim = self._sim(ex)
+            assert not sim._owns_executor
+            sim.run(self._apps())
+            # Pool (if spun up) must still be usable for the next run...
+            assert ex.run(str, [1]) == ["1"]
+            sim.close()
+            # ...and close() via the simulator releases it.
+            assert ex._pool is None
+        finally:
+            ex.close()
+
+    def test_context_manager_closes_supplied_executor(self):
+        ex = ThreadCycleExecutor(max_workers=2)
+        with self._sim(ex) as sim:
+            sim.run(self._apps())
+            assert ex.run(str, [2]) == ["2"]
+        assert ex._pool is None
+
+    def test_repeated_runs_do_not_accumulate_pools(self):
+        sim = self._sim("thread:2")
+        for _ in range(3):
+            sim.run(self._apps())
+            assert sim.cycle_executor._pool is None
 
 
 @pytest.mark.skipif(
