@@ -1,0 +1,90 @@
+"""``python -m repro.analysis`` — the detlint CLI.
+
+Exit codes: 0 = zero unsuppressed findings, 1 = findings, 2 = usage or
+parse error.  ``--json-output`` always writes the machine-readable
+report (CI uploads it as an artifact on failure) regardless of the
+terminal format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .base import all_rules
+from .runner import analyze_paths, format_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "detlint: determinism & purity static analysis for the repro "
+            "engine.  Checks the contracts behind the bit-identity "
+            "guarantees (identity-keyed RNG, simulated-time isolation, "
+            "pure executor workers, sorted iteration, the TIMING_FIELDS "
+            "allowlist) at lint time instead of at test time."
+        ),
+        epilog=(
+            "Suppress an intentional violation inline with a reason: "
+            "`expr  # detlint: disable=DET001 -- why this is safe`. "
+            "A directive on its own comment line covers the next line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="terminal output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--json-output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, cls in sorted(all_rules().items()):
+            print(f"{code}  {cls.name:<22} {cls.summary}")
+        return 0
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = analyze_paths(args.paths, select=select)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"detlint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_output:
+        Path(args.json_output).write_text(
+            format_report(report, "json") + "\n", encoding="utf-8"
+        )
+    print(format_report(report, args.format))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,233 @@
+"""Rule framework: findings, module contexts, suppressions, registry.
+
+Everything here is stdlib-only (``ast`` + ``re``) so the linter imports
+in any environment the package itself does — including CI images with no
+numpy wheel cached yet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Report",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "module_name_for_path",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: e.g. ``"DET001"``
+    message: str
+    path: str  #: repo-relative posix path
+    line: int
+    col: int = 0
+    #: True when an inline ``# detlint: disable=`` directive covers it.
+    suppressed: bool = False
+    #: The justification text following the directive, when present.
+    suppression_reason: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }
+
+
+#: ``# detlint: disable=DET001,DET004 -- reason`` (codes optional: a bare
+#: ``# detlint: disable`` silences every rule on that line).
+_DIRECTIVE = re.compile(
+    r"#\s*detlint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+?))?"
+    r"(?:\s*--\s*(?P<reason>.*))?\s*$"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-line suppression directives parsed from source comments.
+
+    A directive on a line covers findings on that line; a directive on a
+    line that is *only* a comment covers the following line as well, so
+    long statements can keep the justification readable::
+
+        # detlint: disable=DET002 -- wall-clock accounting, lands in TIMING_FIELDS
+        t0 = time.perf_counter()
+    """
+
+    by_line: dict[int, tuple[frozenset[str], str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        by_line: dict[int, tuple[frozenset[str], str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(text)
+            if not match:
+                continue
+            raw = match.group("codes")
+            codes = frozenset(
+                c.strip() for c in raw.split(",") if c.strip()
+            ) if raw else frozenset()
+            reason = (match.group("reason") or "").strip()
+            by_line[lineno] = (codes, reason)
+            if text.lstrip().startswith("#"):
+                # Standalone comment: also covers the next line.
+                by_line.setdefault(lineno + 1, (codes, reason))
+        return cls(by_line)
+
+    def lookup(self, rule: str, line: int) -> tuple[bool, str]:
+        entry = self.by_line.get(line)
+        if entry is None:
+            return False, ""
+        codes, reason = entry
+        if not codes or rule in codes:
+            return True, reason
+        return False, ""
+
+
+class ModuleContext:
+    """One parsed source file plus everything rules need to judge it."""
+
+    def __init__(
+        self, path: str, source: str, module: str | None = None
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.module = module if module is not None else module_name_for_path(path)
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = Suppressions.parse(source)
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        suppressed, reason = self.suppressions.lookup(rule, line)
+        return Finding(
+            rule=rule,
+            message=message,
+            path=self.path,
+            line=line,
+            col=col,
+            suppressed=suppressed,
+            suppression_reason=reason,
+        )
+
+    def in_package(self, packages: Iterable[str]) -> bool:
+        """Is this module inside any of the given dotted packages?"""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path (``src/repro/x/y.py`` ->
+    ``repro.x.y``); falls back to the bare stem outside a src layout."""
+    parts = list(Path(path).parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [Path(path).name]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or Path(path).stem
+
+
+class Rule:
+    """Base class for a per-module rule.
+
+    Subclasses set the class metadata and implement :meth:`check`,
+    yielding findings via ``ctx.finding(...)`` (which applies inline
+    suppressions automatically).
+    """
+
+    code: str = "DET000"
+    name: str = "base"
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole analyzed module set at once."""
+
+    def check_project(
+        self, modules: dict[str, ModuleContext]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The registered rules, importing the built-in set on first use."""
+    from . import rules  # noqa: F401  -- registration side effect
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_json(self) -> dict:
+        return {
+            "tool": "detlint",
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "counts": self.counts(),
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+        }

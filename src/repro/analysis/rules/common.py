@@ -1,0 +1,137 @@
+"""Shared AST plumbing for the detlint rules.
+
+The one non-obvious piece is :class:`ImportMap` + :func:`dotted`: rules
+match call targets against *canonical* dotted paths (``numpy.random.x``,
+``time.perf_counter``) regardless of how the module spelled the import
+(``import numpy as np``, ``from time import perf_counter``,
+``from ..scheduler.cycle import run_optimization``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "ImportMap",
+    "dotted",
+    "call_dotted",
+    "WALLCLOCK_CALLS",
+    "contains_wallclock_call",
+    "FunctionStackVisitor",
+    "resolve_relative_import",
+]
+
+#: Canonical dotted names whose call reads the host wall clock.
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.thread_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Roots we canonicalize; anything else resolves to ``None`` (unknown).
+_KNOWN_ROOTS = ("numpy", "random", "time", "datetime", "os", "glob", "repro")
+
+
+def resolve_relative_import(module: str, node: ast.ImportFrom) -> str:
+    """Absolute dotted target of a (possibly relative) ``from`` import.
+
+    ``module`` is the importing module's dotted name; ``from ..a import b``
+    inside ``repro.cloud.simulator`` resolves to ``repro.a``.
+    """
+    if node.level == 0:
+        return node.module or ""
+    parts = module.split(".")
+    # level 1 = current package: drop the module segment itself.
+    base = parts[: len(parts) - node.level]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+class ImportMap:
+    """Local name -> canonical dotted path, from a module's imports."""
+
+    def __init__(self, tree: ast.AST, module: str = "") -> None:
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _KNOWN_ROOTS:
+                        local = alias.asname or root
+                        target = alias.name if alias.asname else root
+                        self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                source = resolve_relative_import(module, node)
+                if source.split(".")[0] not in _KNOWN_ROOTS:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{source}.{alias.name}"
+
+
+def dotted(node: ast.AST, imap: ImportMap) -> str | None:
+    """Canonical dotted path of a ``Name``/``Attribute`` chain, or None.
+
+    ``np.random.default_rng`` -> ``numpy.random.default_rng`` under
+    ``import numpy as np``; a chain rooted in anything unknown (``self``,
+    a local) resolves to ``None`` so rules never misfire on instance
+    attributes like ``self.rng.normal``.
+    """
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    root = imap.bindings.get(cur.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def call_dotted(node: ast.Call, imap: ImportMap) -> str | None:
+    """Canonical dotted path of a call's target, or None."""
+    return dotted(node.func, imap)
+
+
+def contains_wallclock_call(node: ast.AST, imap: ImportMap) -> bool:
+    """Does any call inside ``node`` read the host wall clock?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            target = call_dotted(sub, imap)
+            if target in WALLCLOCK_CALLS:
+                return True
+    return False
+
+
+class FunctionStackVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the chain of enclosing function names."""
+
+    def __init__(self) -> None:
+        self.function_stack: list[str] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.function_stack.append(node.name)
+        self.generic_visit(node)
+        self.function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.function_stack.append(node.name)
+        self.generic_visit(node)
+        self.function_stack.pop()

@@ -1,0 +1,121 @@
+"""DET001 — ambient / unseeded randomness.
+
+Every random draw in the engine must come from an injected
+``numpy.random.Generator`` whose stream is keyed by identity (seed,
+shard, cycle — see ``repro.scheduler.cycle.cycle_seed``).  Three shapes
+break that contract:
+
+* ``np.random.<fn>(...)`` module-level sampling functions — they share
+  one hidden global ``RandomState``, so results depend on every other
+  draw in the process (and on which worker ran the code).
+* bare stdlib ``random.<fn>(...)`` — same hidden-global problem, plus
+  hash-randomized streams across interpreter runs.
+* ``default_rng()`` / ``RandomState()`` / ``random.Random()`` with no
+  seed — fresh OS entropy on every call, unreproducible by definition.
+
+Calls on an injected generator object (``rng.normal(...)``,
+``self._rng.choice(...)``) are fine and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .. import contracts
+from ..base import Finding, ModuleContext, Rule, register
+from .common import FunctionStackVisitor, ImportMap, call_dotted
+
+#: numpy.random names that are seedable class constructors / types, not
+#: ambient draws.  (``default_rng`` / ``RandomState`` are handled apart:
+#: fine seeded, flagged unseeded.)
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_NEEDS_SEED = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+
+
+def _has_seed_argument(node: ast.Call) -> bool:
+    if node.args:
+        # default_rng(None) is still ambient entropy.
+        first = node.args[0]
+        return not (isinstance(first, ast.Constant) and first.value is None)
+    return any(kw.arg == "seed" for kw in node.keywords)
+
+
+class _Visitor(FunctionStackVisitor):
+    def __init__(self, ctx: ModuleContext, rule: "AmbientRngRule") -> None:
+        super().__init__()
+        self.ctx = ctx
+        self.rule = rule
+        self.imap = ImportMap(ctx.tree, ctx.module)
+        self.findings: list[Finding] = []
+
+    def _allowlisted(self) -> bool:
+        allowed = contracts.AMBIENT_RNG_FACTORY_SITES.get(
+            self.ctx.module, frozenset()
+        )
+        return any(name in allowed for name in self.function_stack)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = call_dotted(node, self.imap)
+        if target is not None and not self._allowlisted():
+            message = self._judge(target, node)
+            if message:
+                self.findings.append(
+                    self.ctx.finding(self.rule.code, node, message)
+                )
+        self.generic_visit(node)
+
+    def _judge(self, target: str, node: ast.Call) -> str | None:
+        if target in _NEEDS_SEED:
+            if not _has_seed_argument(node):
+                return (
+                    f"`{target}()` with no seed draws fresh OS entropy; "
+                    "pass an explicit seed or inject a Generator"
+                )
+            return None
+        if target.startswith("numpy.random."):
+            fn = target.removeprefix("numpy.random.")
+            if fn in _SEEDED_CONSTRUCTORS or "." in fn:
+                return None
+            return (
+                f"ambient `{target}` uses the hidden global RandomState; "
+                "draw from an injected, identity-keyed Generator instead"
+            )
+        if target.startswith("random."):
+            fn = target.removeprefix("random.")
+            if fn == "SystemRandom":
+                return f"`{target}` is OS entropy and never reproducible"
+            return (
+                f"ambient stdlib `{target}` uses hidden global state; "
+                "draw from an injected numpy Generator instead"
+            )
+        return None
+
+
+@register
+class AmbientRngRule(Rule):
+    code = "DET001"
+    name = "ambient-rng"
+    summary = (
+        "RNG must be an injected, identity-keyed Generator — no module-"
+        "level np.random/random draws, no unseeded default_rng()"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        visitor = _Visitor(ctx, self)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

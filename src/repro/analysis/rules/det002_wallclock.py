@@ -1,0 +1,69 @@
+"""DET002 — wall-clock reads inside simulated-time packages.
+
+The event loop's ``now`` is simulated time; results must be a function
+of the event sequence, never of how fast the host ran it.  A
+``time.time()`` / ``perf_counter()`` / ``datetime.now()`` inside
+``repro.cloud`` / ``repro.scheduler`` / ``repro.moo`` therefore either
+(a) leaks host timing into simulated behavior — a bit-identity bug — or
+(b) is timing *accounting* that lands in ``SimulationMetrics.
+TIMING_FIELDS``.  The accounting sites are declared in
+:data:`repro.analysis.contracts.TIMING_ACCOUNTING_SITES`; everything
+else is a finding (DET005 separately checks that the declared sites
+really do confine their measurements to the allowlisted fields).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .. import contracts
+from ..base import Finding, ModuleContext, Rule, register
+from .common import WALLCLOCK_CALLS, FunctionStackVisitor, ImportMap, call_dotted
+
+
+class _Visitor(FunctionStackVisitor):
+    def __init__(self, ctx: ModuleContext, rule: "WallClockRule") -> None:
+        super().__init__()
+        self.ctx = ctx
+        self.rule = rule
+        self.imap = ImportMap(ctx.tree, ctx.module)
+        self.allowed = contracts.TIMING_ACCOUNTING_SITES.get(
+            ctx.module, frozenset()
+        )
+        self.findings: list[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = call_dotted(node, self.imap)
+        if target in WALLCLOCK_CALLS and not any(
+            name in self.allowed for name in self.function_stack
+        ):
+            self.findings.append(
+                self.ctx.finding(
+                    self.rule.code,
+                    node,
+                    f"wall-clock `{target}()` in simulated-time module "
+                    f"`{self.ctx.module}` outside the declared timing-"
+                    "accounting sites; use the event loop's simulated "
+                    "`now` (or declare the site in "
+                    "repro.analysis.contracts.TIMING_ACCOUNTING_SITES)",
+                )
+            )
+        self.generic_visit(node)
+
+
+@register
+class WallClockRule(Rule):
+    code = "DET002"
+    name = "wall-clock"
+    summary = (
+        "simulated-time packages may only read the wall clock at the "
+        "declared timing-accounting sites"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(contracts.SIMULATED_TIME_PACKAGES):
+            return
+        visitor = _Visitor(ctx, self)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

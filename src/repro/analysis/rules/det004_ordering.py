@@ -1,0 +1,153 @@
+"""DET004 — unordered collections feeding ordering-sensitive sinks.
+
+Set iteration order depends on element hashes (randomized per process
+for strings) and insertion history; ``os.listdir`` / ``glob.glob`` /
+``Path.iterdir`` order depends on the filesystem.  When such a
+collection flows into an ordering-sensitive sink — a ``for`` loop, a
+``list(...)``/``tuple(...)``/``enumerate(...)`` conversion, a list or
+dict comprehension — downstream behavior (RNG draw order, fold order,
+float accumulation) silently varies run to run.  The fix is always the
+same: ``sorted(...)`` with a deterministic key.
+
+Order-insensitive consumers (``len``, ``min``/``max``, ``sum`` of ints,
+membership tests, ``sorted`` itself, set algebra) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..base import Finding, ModuleContext, Rule, register
+from .common import ImportMap, call_dotted
+
+#: Canonical call targets returning filesystem-ordered listings.
+_FS_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+#: Method names returning filesystem-ordered listings (``Path`` API).
+_FS_METHODS = frozenset({"iterdir", "rglob"})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+_SINK_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: ModuleContext, rule: "UnorderedIterationRule") -> None:
+        self.ctx = ctx
+        self.rule = rule
+        self.imap = ImportMap(ctx.tree, ctx.module)
+        #: Stack of per-scope ``name -> reason`` maps for locals known to
+        #: hold unordered collections (straight-line tracking).
+        self.scopes: list[dict[str, str]] = [{}]
+        self.findings: list[Finding] = []
+
+    # -- classification ------------------------------------------------
+    def _reason(self, node: ast.AST) -> str | None:
+        """Why ``node`` evaluates to an unordered collection, or None."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            left = self._reason(node.left)
+            right = self._reason(node.right)
+            if left or right:
+                return left or right
+            return None
+        if isinstance(node, ast.Name):
+            for scope in reversed(self.scopes):
+                if node.id in scope:
+                    return scope[node.id]
+            return None
+        if isinstance(node, ast.Call):
+            target = call_dotted(node, self.imap)
+            if target in _FS_CALLS:
+                return f"`{target}` output (filesystem order)"
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return "a set"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FS_METHODS
+            ):
+                return f"`.{node.func.attr}()` output (filesystem order)"
+        return None
+
+    def _flag(self, node: ast.AST, reason: str, sink: str) -> None:
+        self.findings.append(
+            self.ctx.finding(
+                self.rule.code,
+                node,
+                f"iterating {reason} into {sink}: the order is "
+                "nondeterministic — wrap in sorted(...) with a "
+                "deterministic key",
+            )
+        )
+
+    # -- scope tracking ------------------------------------------------
+    def _visit_scope(self, node: ast.AST) -> None:
+        self.scopes.append({})
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        reason = self._reason(node.value)
+        for target in node.targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    if reason and target is leaf:
+                        self.scopes[-1][leaf.id] = reason
+                    else:
+                        self.scopes[-1].pop(leaf.id, None)
+        self.generic_visit(node)
+
+    # -- sinks ---------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        reason = self._reason(node.iter)
+        if reason:
+            self._flag(node.iter, reason, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST, sink: str) -> None:
+        for gen in node.generators:
+            reason = self._reason(gen.iter)
+            if reason:
+                self._flag(gen.iter, reason, sink)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, "a list comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, "a dict comprehension")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _SINK_CALLS
+            and node.args
+        ):
+            reason = self._reason(node.args[0])
+            if reason:
+                self._flag(node.args[0], reason, f"`{node.func.id}(...)`")
+        self.generic_visit(node)
+
+
+@register
+class UnorderedIterationRule(Rule):
+    code = "DET004"
+    name = "unordered-iteration"
+    summary = (
+        "sets and filesystem listings must pass through sorted(...) "
+        "before any ordering-sensitive sink"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        visitor = _Visitor(ctx, self)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

@@ -39,7 +39,9 @@ class OUDrift:
         self.log_mean = float(np.log(mean_quality))
         self.theta = theta
         self.sigma = sigma
-        self._rng = rng or np.random.default_rng()
+        # Deterministic by default: an injected Generator keys the drift
+        # stream; the fallback is a fixed seed, never ambient OS entropy.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._log_q = self.log_mean
 
     @property

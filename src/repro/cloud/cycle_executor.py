@@ -52,9 +52,20 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable, Sequence
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any
+
+#: The worker-function shape every backend ships: one task in, one
+#: result out (pure, picklable by name).
+CycleFn = Callable[[Any], Any]
 
 __all__ = [
+    "CycleFn",
     "CycleExecutor",
     "CycleHandle",
     "SerialCycleExecutor",
@@ -77,7 +88,11 @@ class CycleHandle:
 
     __slots__ = ("futures", "results")
 
-    def __init__(self, futures=None, results=None) -> None:
+    def __init__(
+        self,
+        futures: list[Future[Any]] | None = None,
+        results: list[Any] | None = None,
+    ) -> None:
         self.futures = futures
         self.results = results
 
@@ -91,15 +106,15 @@ class CycleExecutor:
 
     name = "base"
 
-    def run(self, fn: Callable, tasks: Sequence) -> list:
+    def run(self, fn: CycleFn, tasks: Sequence[Any]) -> list[Any]:
         """Apply ``fn`` to every task, returning results in task order."""
         raise NotImplementedError
 
-    def submit(self, fn: Callable, tasks: Sequence) -> CycleHandle:
+    def submit(self, fn: CycleFn, tasks: Sequence[Any]) -> CycleHandle:
         """Start a batch without waiting for it; redeem via ``result``."""
         raise NotImplementedError
 
-    def result(self, handle: CycleHandle) -> list:
+    def result(self, handle: CycleHandle) -> list[Any]:
         """Block until a submitted batch is done; results in task order."""
         if handle.results is not None:
             return handle.results
@@ -123,10 +138,10 @@ class SerialCycleExecutor(CycleExecutor):
 
     name = "serial"
 
-    def run(self, fn: Callable, tasks: Sequence) -> list:
+    def run(self, fn: CycleFn, tasks: Sequence[Any]) -> list[Any]:
         return [fn(task) for task in tasks]
 
-    def submit(self, fn: Callable, tasks: Sequence) -> CycleHandle:
+    def submit(self, fn: CycleFn, tasks: Sequence[Any]) -> CycleHandle:
         # No second thread to overlap with: resolve inline at submit
         # time.  Simulated-time pipelining still works — the fold event
         # just finds the results already computed.
@@ -143,7 +158,7 @@ class _PooledCycleExecutor(CycleExecutor):
     def _make_pool(self) -> Executor:
         raise NotImplementedError
 
-    def run(self, fn: Callable, tasks: Sequence) -> list:
+    def run(self, fn: CycleFn, tasks: Sequence[Any]) -> list[Any]:
         if len(tasks) <= 1:
             # Pool overhead buys nothing for a batch of one (the common
             # arrival-path case); inline execution is identical because
@@ -153,7 +168,7 @@ class _PooledCycleExecutor(CycleExecutor):
             self._pool = self._make_pool()
         return list(self._pool.map(fn, tasks))
 
-    def submit(self, fn: Callable, tasks: Sequence) -> CycleHandle:
+    def submit(self, fn: CycleFn, tasks: Sequence[Any]) -> CycleHandle:
         if not tasks:
             return CycleHandle(results=[])
         # Deliberately no single-task inline shortcut here: submit exists
@@ -205,7 +220,7 @@ class ProcessCycleExecutor(_PooledCycleExecutor):
         return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
 
 
-_EXECUTORS = {
+_EXECUTORS: dict[str, type[CycleExecutor]] = {
     SerialCycleExecutor.name: SerialCycleExecutor,
     ThreadCycleExecutor.name: ThreadCycleExecutor,
     ProcessCycleExecutor.name: ProcessCycleExecutor,

@@ -19,12 +19,17 @@ can import it without ordering concerns.
 from __future__ import annotations
 
 import warnings
-from typing import Protocol, runtime_checkable
+from collections.abc import Callable
+from typing import Any, Protocol, cast, runtime_checkable
 
 import numpy as np
 
+#: A legacy pair-wise scorer: ``(job, qpu) -> (fidelity, exec_seconds)``.
+PairFn = Callable[[Any, Any], tuple[float, float]]
+
 __all__ = [
     "EstimateSource",
+    "PairFn",
     "PairwiseEstimateSource",
     "as_estimate_source",
     "block_feasibility",
@@ -50,13 +55,13 @@ class EstimateSource(Protocol):
 
     def estimate_block(
         self,
-        jobs: list,
-        qpus: list,
+        jobs: list[Any],
+        qpus: list[Any],
         feasible: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]: ...
 
 
-def block_feasibility(jobs: list, qpus: list) -> np.ndarray:
+def block_feasibility(jobs: list[Any], qpus: list[Any]) -> np.ndarray:
     """Width/online feasibility mask, mirroring
     :func:`repro.cloud.job.feasibility_matrix` (kept local so this
     module stays a leaf)."""
@@ -80,17 +85,17 @@ class PairwiseEstimateSource:
     bit-identical to the pre-protocol behavior.
     """
 
-    def __init__(self, pair_fn, origin=None) -> None:
+    def __init__(self, pair_fn: PairFn, origin: Any = None) -> None:
         self.pair_fn = pair_fn
         self.origin = origin if origin is not None else pair_fn
 
-    def __call__(self, job, qpu) -> tuple[float, float]:
+    def __call__(self, job: Any, qpu: Any) -> tuple[float, float]:
         return self.pair_fn(job, qpu)
 
     def estimate_block(
         self,
-        jobs: list,
-        qpus: list,
+        jobs: list[Any],
+        qpus: list[Any],
         feasible: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if feasible is None:
@@ -103,20 +108,20 @@ class PairwiseEstimateSource:
                     fid[i, k], sec[i, k] = self.pair_fn(job, qpu)
         return fid, sec
 
-    def on_recalibration(self, qpus: list) -> None:
+    def on_recalibration(self, qpus: list[Any]) -> None:
         hook = getattr(self.origin, "on_recalibration", None)
         if hook is not None:
             hook(qpus)
 
     @property
-    def stats(self):
+    def stats(self) -> Any:
         return getattr(self.origin, "stats", None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PairwiseEstimateSource({self.origin!r})"
 
 
-def as_estimate_source(source) -> EstimateSource:
+def as_estimate_source(source: Any) -> EstimateSource:
     """Coerce any historical estimate-source shape into an
     :class:`EstimateSource`.
 
@@ -128,7 +133,7 @@ def as_estimate_source(source) -> EstimateSource:
     fast path.
     """
     if hasattr(source, "estimate_block"):
-        return source
+        return cast(EstimateSource, source)
     if hasattr(source, "estimate_for_qpu"):
         warnings.warn(
             f"{type(source).__name__}.estimate_for_qpu-style sources are "

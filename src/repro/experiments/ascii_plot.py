@@ -33,7 +33,7 @@ def line_chart(
     if y_hi - y_lo < 1e-12:
         y_hi = y_lo + 1.0
     grid = [[" "] * width for _ in range(height)]
-    for glyph, (name, (xs, ys)) in zip(glyphs, series.items()):
+    for glyph, (_name, (xs, ys)) in zip(glyphs, series.items()):
         for x, y in zip(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)):
             col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
             row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))

@@ -43,7 +43,9 @@ def pauli_twirl(
 ) -> Circuit:
     """One random twirled instance: every CX dressed with a random
     sandwich from :data:`CX_TWIRL_SET`."""
-    rng = rng or np.random.default_rng()
+    # Deterministic by default: callers wanting varied instances inject
+    # their own Generator (twirl_ensemble shares one across instances).
+    rng = rng if rng is not None else np.random.default_rng(0)
     out = Circuit(circuit.num_qubits, f"{circuit.name}_twirled")
     out.metadata = dict(circuit.metadata)
     for g in circuit.ops:

@@ -8,7 +8,9 @@ memory, accelerators), *score* ranks the survivors with pluggable policies
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import ClassVar
 
 __all__ = ["ClassicalNode", "ClassicalRequest", "ClassicalScheduler"]
 
@@ -74,7 +76,9 @@ def _most_allocated_score(node: ClassicalNode, req: ClassicalRequest) -> float:
 class ClassicalScheduler:
     """Two-stage filter/score scheduler over a node pool."""
 
-    POLICIES = {
+    POLICIES: ClassVar[
+        dict[str, Callable[[ClassicalNode, ClassicalRequest], float]]
+    ] = {
         "least_allocated": _least_allocated_score,
         "most_allocated": _most_allocated_score,
     }

@@ -27,6 +27,7 @@ counts.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,12 +38,17 @@ from .formulation import SchedulingInput, SchedulingProblem
 __all__ = [
     "OptimizationTask",
     "OptimizationResult",
+    "CycleLatencyModel",
     "cycle_seed",
     "run_optimization",
     "ConstantCycleLatency",
     "NsgaCycleLatencyModel",
     "make_latency_model",
 ]
+
+#: A latency model maps one batch's tasks (``None`` for shards whose
+#: policy has no optimization stage) to simulated seconds until fold.
+CycleLatencyModel = Callable[[Sequence["OptimizationTask | None"]], float]
 
 
 def cycle_seed(
@@ -126,7 +132,7 @@ class ConstantCycleLatency:
 
     seconds: float = 0.0
 
-    def __call__(self, tasks) -> float:
+    def __call__(self, tasks: Sequence[OptimizationTask | None]) -> float:
         return self.seconds
 
 
@@ -146,7 +152,7 @@ class NsgaCycleLatencyModel:
     seconds_per_evaluation: float = 2e-5
     overhead_seconds: float = 0.05
 
-    def __call__(self, tasks) -> float:
+    def __call__(self, tasks: Sequence[OptimizationTask | None]) -> float:
         if not tasks:
             return 0.0
         slowest = max(
@@ -160,7 +166,9 @@ class NsgaCycleLatencyModel:
         return self.overhead_seconds + slowest * self.seconds_per_evaluation
 
 
-def make_latency_model(spec) -> "ConstantCycleLatency | NsgaCycleLatencyModel":
+def make_latency_model(
+    spec: float | CycleLatencyModel | None,
+) -> CycleLatencyModel:
     """Resolve a cycle-latency spec to a model callable.
 
     ``None`` or ``0`` mean the legacy instant fold (bit-identical to the

@@ -205,7 +205,9 @@ def noise_aware_layout(
         region = {0}
     while len(region) < n_logical:
         best_node, best_score = None, -1.0
-        for node in region:
+        # Sorted: best_node ties break on score only, so the expansion
+        # order must not depend on set iteration order.
+        for node in sorted(region):
             for nb in graph.neighbors(node):
                 if nb in region:
                     continue

@@ -40,7 +40,9 @@ def phase_estimation(
     return circ
 
 
-def ripple_adder(num_bits: int, a: int = None, b: int = None, *, measure: bool = True) -> Circuit:
+def ripple_adder(
+    num_bits: int, a: int | None = None, b: int | None = None, *, measure: bool = True
+) -> Circuit:
     """Cuccaro-style ripple-carry adder computing a+b into register b.
 
     Layout: qubit 0 = carry-in ancilla, then interleaved b_i, a_i pairs,

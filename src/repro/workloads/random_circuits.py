@@ -75,7 +75,7 @@ def clustered_circuit(
     circ = Circuit(num_qubits, f"clustered_{num_qubits}x{depth}")
     circ.metadata["clusters"] = [list(c) for c in clusters]
     bridges: list[tuple[int, int]] = []
-    for layer in range(depth):
+    for _layer in range(depth):
         for cluster in clusters:
             free = list(rng.permutation(cluster))
             while free:

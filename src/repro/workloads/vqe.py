@@ -28,7 +28,7 @@ def real_amplitudes(
         raise ValueError(f"expected {n_params} parameters, got {len(parameters)}")
     circ = Circuit(num_qubits, f"vqe_ra_{num_qubits}_r{reps}")
     it = iter(parameters)
-    for rep in range(reps):
+    for _rep in range(reps):
         for q in range(num_qubits):
             circ.ry(next(it), q)
         for a, b in _entangler_pairs(num_qubits, entanglement):

@@ -183,7 +183,7 @@ class TestOnlineAwareRouting:
 
 
 class TestSimulatorIntegration:
-    NAMES = ["auckland", "lagos"]  # 27q wide + 7q narrow
+    NAMES = ("auckland", "lagos")  # 27q wide + 7q narrow
 
     def _run(self, availability, *, duration=900.0, rate=600):
         gen = LoadGenerator(

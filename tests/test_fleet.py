@@ -129,7 +129,7 @@ class TestBalancers:
 
 
 class TestShardedEquivalence:
-    NAMES = ["auckland", "algiers", "lagos"]
+    NAMES = ("auckland", "algiers", "lagos")
 
     def _apps(self, seed=4, duration=900.0):
         gen = LoadGenerator(mean_rate_per_hour=600, max_qubits=27, seed=seed)
@@ -517,7 +517,7 @@ class TestRebalancePolicies:
 class TestRebalancingRuns:
     """Simulator-level work stealing: determinism, identity, effect."""
 
-    NAMES = ["auckland", "hanoi", "guadalupe", "lagos"]  # 27/27/16/7
+    NAMES = ("auckland", "hanoi", "guadalupe", "lagos")  # 27/27/16/7
 
     def _skewed_shards(self):
         """Shard 0 = {guadalupe 16q, lagos 7q}, shard 1 = {auckland,

@@ -294,6 +294,22 @@ class TestDeterministicStateContract:
         b.stage_seconds["optimize"] = 5.0
         assert a.deterministic_state() == b.deterministic_state()
 
+    def test_static_detlint_view_agrees_with_runtime(self):
+        """detlint's DET005 parses the same contract from the source
+        text that the runtime enforces: same field set, same
+        ``TIMING_FIELDS`` allowlist, in the same order.  If the two ever
+        drift (a field added behind an ``if``, the tuple built
+        dynamically), the static mirror silently rots — this pins it."""
+        from dataclasses import fields as dataclass_fields
+
+        from repro.analysis.rules import static_metrics_contract
+
+        static_fields, static_timing = static_metrics_contract()
+        assert static_timing == tuple(SimulationMetrics.TIMING_FIELDS)
+        assert list(static_fields) == [
+            f.name for f in dataclass_fields(SimulationMetrics)
+        ]
+
 
 class TestCoalescing:
     def test_aligned_deadlines_batch_misaligned_do_not(self):

@@ -86,7 +86,7 @@ class TestAdmissionController:
         ctrl = AdmissionController()
         assert ctrl.admit(self._tenant_job(tenant), 0.0).admitted
         # A long quiet spell refills to `burst`, not beyond.
-        for i in range(2):
+        for _ in range(2):
             assert ctrl.admit(self._tenant_job(tenant), 10_000.0).admitted
         assert not ctrl.admit(self._tenant_job(tenant), 10_000.0).admitted
 
