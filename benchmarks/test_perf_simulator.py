@@ -29,6 +29,7 @@ from repro.experiments.common import trained_estimator
 from repro.experiments.rebalance import skew_scenario
 from repro.experiments.tenant import tenant_study
 from repro.scheduler import FCFSPolicy, QonductorScheduler, SchedulingTrigger
+from repro.scheduler.cycle import run_optimization
 
 ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
 
@@ -760,3 +761,204 @@ def test_perf_batched_estimates():
         f"estimate_block speedup {speedup:.2f}x < 3x "
         f"({pair_seconds:.3f}s per-pair vs {block_seconds:.3f}s block)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized NSGA-II kernels + cross-cycle Pareto warm-starting
+# ---------------------------------------------------------------------------
+
+def _best_of(fn, *, repeats=5, inner=20):
+    """Best mean-of-``inner`` over ``repeats`` batches (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best
+
+
+def _warm_cycle_scenario(warm_start, jobs, fleet, *, cycles=8, seed=3):
+    """Drive ``cycles`` scheduling cycles over a churning pending queue.
+
+    Estimates come from a low-cardinality closed form (fidelity depends
+    only on circuit width and QPU name length), which is the regime where
+    the tolerance window actually fires before the generation cap — the
+    trained estimator's richer estimate surface keeps the ideal point
+    moving and every run exhausts ``max_generations``, telling the
+    warm-start comparison nothing.  Churn keeps 2/3 of the queue pending
+    across cycles (the paper's steady state), so most genes carry over.
+    ``jobs`` must be shared across arms: cross-arm schedule comparisons
+    go by ``job_id``, which is allocated globally at job creation.
+    """
+
+    def structured_est(job, qpu):
+        return 0.5 + 0.4 / (1 + job.num_qubits + len(qpu.name)), (
+            10.0 + job.num_qubits
+        )
+
+    sched = QonductorScheduler(
+        structured_est, seed=seed, max_generations=60, warm_start=warm_start
+    )
+    pending, fresh = list(jobs[:60]), 60
+    generations, schedules = [], []
+    for _ in range(cycles):
+        plan = sched.begin_cycle(
+            pending, fleet, {q.name: 0.0 for q in fleet}
+        )
+        res = run_optimization(plan.task)
+        schedule = sched.finish_cycle(plan, res)
+        generations.append(res.generations)
+        schedules.append(
+            [(d.job.job_id, d.qpu_name) for d in schedule.decisions]
+        )
+        pending = pending[20:] + jobs[fresh : fresh + 10]
+        fresh += 10
+    return generations, schedules
+
+
+def test_perf_nsga_kernels():
+    """The vectorized-MOO gate: the population-flat evaluate kernel must
+    beat the per-individual reference loop by >=5x at a realistic cycle
+    shape (single-thread vectorization — no core count required), while
+    staying bit-identical; the artifact additionally records end-to-end
+    ``run_optimization`` wall clock with and without the kernels and the
+    warm-vs-cold generation counts of a churning multi-cycle scenario."""
+    import numpy as np
+
+    from conftest import nsga_reference_patch
+    from repro.cloud.job import QuantumJob
+    from repro.scheduler.formulation import (
+        SchedulingInput,
+        evaluate_population,
+        evaluate_reference,
+        repair_population,
+        repair_reference,
+    )
+    from repro.workloads import WorkloadSampler
+
+    # -- 1. population-evaluate kernel vs per-individual reference ------
+    pop, n, q = 128, 100, 16
+    rng = np.random.default_rng(0)
+    data = SchedulingInput(
+        fidelity=rng.random((n, q)) * 0.4 + 0.6,
+        exec_seconds=rng.random((n, q)) * 100 + 1,
+        waiting_seconds=rng.random(q) * 50,
+        feasible=rng.random((n, q)) < 0.7,
+    )
+    X = rng.integers(0, q, size=(pop, n))
+    assert np.array_equal(
+        evaluate_population(data, X), evaluate_reference(data, X)
+    )
+    r1, r2 = np.random.default_rng(1), np.random.default_rng(1)
+    assert np.array_equal(
+        repair_population(data, X.copy(), r1),
+        repair_reference(data, X.copy(), r2),
+    )
+    ref_seconds = _best_of(lambda: evaluate_reference(data, X))
+    kernel_seconds = _best_of(lambda: evaluate_population(data, X))
+    evaluate_speedup = ref_seconds / max(kernel_seconds, 1e-12)
+
+    # -- 2. end-to-end run_optimization, kernels vs reference loops -----
+    estimator = trained_estimator(seed=7).cached()
+    fleet = fleet_of_size(8, seed=7)
+    sampler = WorkloadSampler(
+        mean_qubits=8, std_qubits=4, max_qubits=27,
+        shots_choices=SHOTS_GRID, seed=9,
+    )
+    pending = [
+        QuantumJob.from_circuit(s.circuit, shots=s.shots, keep_circuit=False)
+        for s in sampler.sample_many(150)
+    ]
+    sched = QonductorScheduler(estimator, seed=3, max_generations=60)
+    plan = sched.begin_cycle(pending, fleet, {b.name: 0.0 for b in fleet})
+    task = plan.task
+
+    after_seconds, after = float("inf"), None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        after = run_optimization(task)
+        after_seconds = min(after_seconds, time.perf_counter() - t0)
+    before_seconds, before = float("inf"), None
+    with nsga_reference_patch():
+        for _ in range(3):
+            t0 = time.perf_counter()
+            before = run_optimization(task)
+            before_seconds = min(before_seconds, time.perf_counter() - t0)
+    # The references consume identical RNG streams: same result, slower.
+    assert np.array_equal(before.X, after.X)
+    assert np.array_equal(before.F, after.F)
+    assert before.generations == after.generations
+
+    # -- 3. cross-cycle Pareto warm-starting (opt-in) -------------------
+    churn_sampler = WorkloadSampler(
+        mean_qubits=8, std_qubits=4, max_qubits=27, seed=9
+    )
+    churn_jobs = [
+        QuantumJob.from_circuit(s.circuit, shots=s.shots, keep_circuit=False)
+        for s in churn_sampler.sample_many(200)
+    ]
+    cold_gens, cold_schedules = _warm_cycle_scenario(
+        False, churn_jobs, fleet
+    )
+    warm_gens, warm_schedules = _warm_cycle_scenario(True, churn_jobs, fleet)
+    warm_gens2, warm_schedules2 = _warm_cycle_scenario(
+        True, churn_jobs, fleet
+    )
+
+    result = {
+        "paper": {},
+        "measured": {
+            "evaluate_kernel": {
+                "pop": pop, "jobs": n, "qpus": q,
+                "reference_ms": round(ref_seconds * 1e3, 4),
+                "kernel_ms": round(kernel_seconds * 1e3, 4),
+                "speedup": round(evaluate_speedup, 2),
+            },
+            "run_optimization": {
+                "jobs": task.data.num_jobs,
+                "qpus": task.data.num_qpus,
+                "pop_size": task.pop_size,
+                "generations": after.generations,
+                "before_ms": round(before_seconds * 1e3, 2),
+                "after_ms": round(after_seconds * 1e3, 2),
+                "speedup": round(
+                    before_seconds / max(after_seconds, 1e-12), 2
+                ),
+                "bit_identical": True,
+            },
+            "warm_start": {
+                "cycles": len(cold_gens),
+                "cold_generations": cold_gens,
+                "warm_generations": warm_gens,
+                "cold_total": sum(cold_gens),
+                "warm_total": sum(warm_gens),
+                "deterministic": bool(
+                    warm_gens == warm_gens2
+                    and warm_schedules == warm_schedules2
+                ),
+            },
+        },
+    }
+    report(
+        "Perf: vectorized NSGA-II kernels + Pareto warm-starting",
+        result,
+        keys=list(result["measured"]),
+    )
+
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    artifact = ARTIFACT_DIR / "perf_nsga_kernels.json"
+    artifact.write_text(json.dumps(result["measured"], indent=2) + "\n")
+
+    # The tentpole gate: single-thread vectorization, not parallelism.
+    assert evaluate_speedup >= 5.0, (
+        f"population-evaluate speedup {evaluate_speedup:.2f}x < 5x "
+        f"({ref_seconds * 1e3:.3f}ms reference vs "
+        f"{kernel_seconds * 1e3:.3f}ms kernel)"
+    )
+    # Warm-starting is opt-in and must change nothing structural: it is
+    # deterministic, and the first cycle (no memory yet) is identical to
+    # the cold run bit for bit.
+    assert result["measured"]["warm_start"]["deterministic"]
+    assert warm_schedules[0] == cold_schedules[0]
+    assert warm_gens[0] == cold_gens[0]

@@ -58,7 +58,13 @@ AMBIENT_RNG_FACTORY_SITES: dict[str, frozenset[str]] = {}
 #: ``*.run(fn, ...)`` call sites.  These must stay module-level, closure
 #: free, and module-global free or process workers diverge from serial.
 WORKER_FUNCTIONS: frozenset[tuple[str, str]] = frozenset(
-    {("repro.scheduler.cycle", "run_optimization")}
+    {
+        ("repro.scheduler.cycle", "run_optimization"),
+        # The population-flat NSGA-II kernels run inside run_optimization
+        # on every executor backend; same purity bar.
+        ("repro.scheduler.formulation", "evaluate_population"),
+        ("repro.scheduler.formulation", "repair_population"),
+    }
 )
 
 #: Where the runtime determinism allowlist lives (DET005's anchor).

@@ -10,18 +10,22 @@ from .operators import (
 )
 from .problem import Problem
 from .sorting import (
+    crowding_by_rank,
     crowding_distance,
     dominates_matrix,
     fast_non_dominated_sort,
+    front_ranks,
     pareto_front_mask,
 )
 from .termination import Termination
 
 __all__ = [
     "Problem",
+    "crowding_by_rank",
     "crowding_distance",
     "dominates_matrix",
     "fast_non_dominated_sort",
+    "front_ranks",
     "pareto_front_mask",
     "exponential_crossover",
     "polynomial_mutation",

@@ -26,7 +26,7 @@ from .operators import (
     tournament_selection,
 )
 from .problem import Problem
-from .sorting import crowding_distance, fast_non_dominated_sort
+from .sorting import crowding_by_rank, crowding_distance, front_ranks
 from .termination import Termination
 
 __all__ = ["NSGA2", "NSGA2Result"]
@@ -111,8 +111,10 @@ class NSGA2:
             if self.keep_history:
                 history.append(F[rank == 0].copy())
 
-        fronts = fast_non_dominated_sort(F)
-        first = fronts[0]
+        # The loop state already carries every survivor's front rank
+        # (from `_rank_and_crowd` initially, `_truncate` thereafter), so
+        # the final first front needs no third non-dominated sort.
+        first = np.where(rank == 0)[0]
         # Deduplicate identical objective vectors for a clean Pareto front.
         _, unique_idx = np.unique(F[first], axis=0, return_index=True)
         sel = first[np.sort(unique_idx)]
@@ -127,51 +129,44 @@ class NSGA2:
 
     # ------------------------------------------------------------------
     def _rank_and_crowd(self, F: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        fronts = fast_non_dominated_sort(F)
-        rank = np.empty(len(F), dtype=np.int64)
-        crowd = np.empty(len(F))
-        for r, front in enumerate(fronts):
-            rank[front] = r
-            crowd[front] = crowding_distance(F[front])
-        return rank, crowd
+        rank = front_ranks(F)
+        return rank, crowding_by_rank(F, rank)
 
     def _truncate(self, X: np.ndarray, F: np.ndarray):
         """Elitist truncation to ``pop_size`` by (front, crowding).
 
-        The survivors' ranks and crowding come straight from the front
-        partition computed here — re-running non-dominated sorting on the
-        truncated set is provably redundant (every survivor in front ``r``
-        is still dominated by a surviving member of front ``r - 1``, and
-        never by a peer), so the second O(pop^2) sort the old
-        implementation paid per generation is skipped.  Values are
-        bit-identical: full fronts keep their whole member set, and the
-        one split front's crowding is recomputed over exactly the
-        surviving subset, matching what a fresh rank-and-crowd over the
-        survivors would produce (asserted in ``tests/test_ml_moo.py``).
+        One domination matrix per selection: fronts are peeled into a
+        rank vector (:func:`front_ranks`) and crowding for every front
+        comes from the single ranked sweep (:func:`crowding_by_rank`)
+        shared with :meth:`_rank_and_crowd` — no per-front Python loop
+        and no re-sorting of the truncated set (every survivor in front
+        ``r`` is still dominated only by surviving members of front
+        ``r - 1``).  Values are bit-identical to the per-front reference
+        loop: full fronts keep their whole member set, and the one split
+        front's crowding is recomputed over exactly the surviving
+        subset, matching what a fresh rank-and-crowd over the survivors
+        would produce (asserted in ``tests/test_ml_moo.py``).
         """
-        fronts = fast_non_dominated_sort(F)
-        chosen: list[np.ndarray] = []
-        count = 0
-        for front in fronts:
-            if count + len(front) <= self.pop_size:
-                chosen.append(front)
-                count += len(front)
-            else:
-                crowd = crowding_distance(F[front])
-                order = np.argsort(-crowd, kind="stable")
-                chosen.append(front[order[: self.pop_size - count]])
-                count = self.pop_size
-                break
-        idx = np.concatenate(chosen)
+        rank_all = front_ranks(F)
+        crowd_all = crowding_by_rank(F, rank_all)
+        counts = np.bincount(rank_all)
+        cum = np.cumsum(counts)
+        # First rank whose cumulative count exceeds pop_size is split.
+        r_split = int(np.searchsorted(cum, self.pop_size, side="right"))
+        n_full = int(cum[r_split - 1]) if r_split > 0 else 0
+        # Fronts 0..r_split-1 concatenated in (rank, index) order.
+        by_rank = np.argsort(rank_all, kind="stable")
+        idx = by_rank[:n_full]
+        n_rest = self.pop_size - n_full
+        if n_rest > 0:
+            front = np.where(rank_all == r_split)[0]
+            order = np.argsort(-crowd_all[front], kind="stable")
+            idx = np.concatenate([idx, front[order[:n_rest]]])
         Xs, Fs = X[idx], F[idx]
-        rank = np.concatenate(
-            [np.full(len(sel), r, dtype=np.int64) for r, sel in enumerate(chosen)]
-        )
-        crowd = np.empty(len(idx))
-        offset = 0
-        for sel in chosen:
-            crowd[offset : offset + len(sel)] = crowding_distance(
-                Fs[offset : offset + len(sel)]
-            )
-            offset += len(sel)
+        rank = rank_all[idx]
+        crowd = crowd_all[idx]
+        if n_rest > 0:
+            # The split front survives only partially; its crowding is
+            # defined over the surviving subset, not the full front.
+            crowd[n_full:] = crowding_distance(Fs[n_full:])
         return Xs, Fs, rank, crowd

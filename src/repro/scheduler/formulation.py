@@ -10,6 +10,16 @@ Objectives (both minimized):
 Constraint ``q_i <= s_{x_i}`` (job width fits the QPU) is enforced by
 repair: infeasible genes are projected to a random feasible QPU.
 Complexity is O(N) in the number of jobs, independent of fleet size.
+
+The hot per-generation passes are population-flat kernels routed through
+the pluggable array backend (:mod:`repro.simulation.array_ops`):
+:func:`evaluate_population` folds the whole ``(pop, N)`` population into
+one offset-encoded segment sum instead of ``pop`` Python iterations, and
+:func:`repair_population` projects every infeasible gene with one
+bounded-integer draw per violation in row-major order — bit-identical to
+the scalar reference loops (:func:`evaluate_reference` /
+:func:`repair_reference`), which the tests and the
+``test_perf_nsga_kernels`` gate keep pinned.
 """
 
 from __future__ import annotations
@@ -19,8 +29,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..moo.problem import Problem
+from ..simulation.array_ops import ArrayBackend, make_array_backend
 
-__all__ = ["SchedulingInput", "SchedulingProblem", "assignment_stats"]
+__all__ = [
+    "SchedulingInput",
+    "SchedulingProblem",
+    "assignment_stats",
+    "pack_feasible",
+    "evaluate_population",
+    "repair_population",
+    "evaluate_reference",
+    "repair_reference",
+]
 
 
 @dataclass
@@ -57,52 +77,190 @@ class SchedulingInput:
         return self.fidelity.shape[1]
 
 
+# ---------------------------------------------------------------------------
+# Population-flat kernels (stage-2 hot path; pure, worker-safe)
+
+
+def pack_feasible(
+    feasible: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack the ragged per-job feasible-QPU lists into flat arrays.
+
+    Returns ``(flat, offsets, counts)``: ``flat[offsets[i] :
+    offsets[i] + counts[i]]`` is ``np.where(feasible[i])[0]`` — the
+    ascending feasible QPU indices of job ``i`` — without materializing
+    one Python list per job.
+    """
+    counts = feasible.sum(axis=1).astype(np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(np.int64)
+    flat = np.nonzero(feasible)[1].astype(np.int64)  # row-major: per-job runs
+    return flat, offsets, counts
+
+
+def evaluate_population(
+    data: SchedulingInput,
+    X: np.ndarray,
+    backend: ArrayBackend | None = None,
+) -> np.ndarray:
+    """Eq. 1 objectives for a whole ``(pop, N)`` population in one pass.
+
+    Per-QPU batch loads for *all* individuals come from a single
+    offset-encoded segment sum (individual ``p``'s genes land in bins
+    ``[p * Q, (p + 1) * Q)``), so the per-generation objective pass is
+    one vectorized kernel instead of ``pop`` Python-level ``bincount``
+    iterations.  Bit-identical to :func:`evaluate_reference`: the flat
+    segment sum accumulates each bin's weights in the same row-major
+    order the per-individual ``bincount`` does, and the row means reduce
+    the same contiguous values.
+    """
+    b = backend if backend is not None else make_array_backend()
+    xp = b.xp
+    pop, n = X.shape
+    q = data.num_qpus
+    # Flat (job, qpu) cell ids: a[i, X[p, i]] == a.ravel()[i * Q + X[p, i]],
+    # so one index matrix feeds both estimate gathers as flattened takes.
+    cell = X + (xp.arange(n) * q)[None, :]
+    exec_sel = b.take(data.exec_seconds, cell)  # (pop, N)
+    fid_sel = b.take(data.fidelity, cell)
+    wait_sel = b.take(data.waiting_seconds, X)
+    # Per-individual bins: individual p's genes land in [p * Q, (p+1) * Q).
+    seg = X + (xp.arange(pop) * q)[:, None]
+    totals = b.segment_sum(exec_sel.ravel(), seg.ravel(), pop * q)
+    # The same bin ids read the summed loads back: totals[p*Q + X[p, i]].
+    jct = wait_sel + b.take(totals, seg)
+    F = xp.empty((pop, 2))
+    F[:, 0] = jct.mean(axis=1)
+    F[:, 1] = 1.0 - fid_sel.mean(axis=1)
+    return b.to_numpy(F)
+
+
+def repair_population(
+    data: SchedulingInput,
+    X: np.ndarray,
+    rng: np.random.Generator,
+    packed: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    backend: ArrayBackend | None = None,
+) -> np.ndarray:
+    """Project every infeasible gene to a random feasible QPU, batched.
+
+    All violations are located with one mask pass and repaired with one
+    bounded-integer draw per violation in row-major ``(individual,
+    gene)`` order — the exact order, bounds, and bit stream of the
+    scalar per-violation loop (:func:`repair_reference`), so seeded runs
+    are unchanged by the batching.
+    """
+    b = backend if backend is not None else make_array_backend()
+    X = np.clip(X, 0, data.num_qpus - 1)
+    rows = np.arange(data.num_jobs)
+    bad = ~b.gather(data.feasible, rows[None, :], X)
+    if bad.any():
+        flat, offsets, counts = (
+            packed if packed is not None else pack_feasible(data.feasible)
+        )
+        ps, js = np.nonzero(bad)  # row-major: the scalar loop's order
+        draws = b.bounded_integers(rng, counts[js])
+        X[ps, js] = flat[offsets[js] + draws]
+    return X
+
+
+def evaluate_reference(data: SchedulingInput, X: np.ndarray) -> np.ndarray:
+    """The per-individual objective loop :func:`evaluate_population`
+    replaced — kept as the regression/benchmark reference."""
+    pop, n = X.shape
+    q = data.num_qpus
+    rows = np.arange(n)
+    F = np.empty((pop, 2))
+    exec_sel = data.exec_seconds[rows[None, :], X]  # (pop, N)
+    fid_sel = data.fidelity[rows[None, :], X]
+    wait_sel = data.waiting_seconds[X]
+    for p in range(pop):
+        # Total batch execution time landing on each QPU.
+        totals = np.bincount(X[p], weights=exec_sel[p], minlength=q)
+        jct = wait_sel[p] + totals[X[p]]
+        F[p, 0] = jct.mean()
+        F[p, 1] = 1.0 - fid_sel[p].mean()
+    return F
+
+
+def repair_reference(
+    data: SchedulingInput,
+    X: np.ndarray,
+    rng: np.random.Generator,
+    feasible_lists: list[np.ndarray] | None = None,
+) -> np.ndarray:
+    """The scalar per-violation repair loop :func:`repair_population`
+    replaced — kept as the regression/benchmark reference."""
+    if feasible_lists is None:
+        feasible_lists = [
+            np.where(data.feasible[i])[0] for i in range(data.num_jobs)
+        ]
+    X = np.clip(X, 0, data.num_qpus - 1)
+    bad = ~data.feasible[np.arange(data.num_jobs)[None, :], X]
+    if bad.any():
+        for p, i in zip(*np.nonzero(bad)):
+            options = feasible_lists[i]
+            X[p, i] = options[int(rng.integers(len(options)))]
+    return X
+
+
 class SchedulingProblem(Problem):
-    """Integer-encoded Eq. 1 instance over a :class:`SchedulingInput`."""
+    """Integer-encoded Eq. 1 instance over a :class:`SchedulingInput`.
+
+    ``warm`` optionally seeds the initial population with cross-cycle
+    Pareto assignments (see
+    :meth:`~repro.scheduler.quantum.QonductorScheduler.begin_cycle`): a
+    ``(k, N)`` integer array whose entries are either a feasible QPU
+    index for the job or ``-1`` for "no carry-over" (new jobs, vanished
+    QPUs).  Warm rows replace random individuals after the two objective
+    extremes; missing genes fill from the extremes and the random draw,
+    cycling per row, so the warm population never consumes extra RNG and
+    stays a pure function of ``(data, seed, warm)``.
+    """
 
     def __init__(
         self,
         data: SchedulingInput,
         seed: int | np.random.SeedSequence = 0,
+        *,
+        warm: np.ndarray | None = None,
+        backend: ArrayBackend | str | None = None,
     ) -> None:
         super().__init__(
             n_var=data.num_jobs, n_obj=2, lower=0, upper=data.num_qpus - 1
         )
         self.data = data
         self._rng = np.random.default_rng(seed)
-        # Pre-extract feasible QPU lists for repair.
-        self._feasible_lists = [
-            np.where(data.feasible[i])[0] for i in range(data.num_jobs)
-        ]
+        self._backend = make_array_backend(backend)
+        # Flat feasible-QPU index arrays for the batched repair kernel.
+        self._packed = pack_feasible(data.feasible)
+        self._warm = self._validate_warm(warm)
+
+    def _validate_warm(self, warm: np.ndarray | None) -> np.ndarray | None:
+        if warm is None:
+            return None
+        warm = np.asarray(warm, dtype=np.int64)
+        if warm.ndim != 2 or warm.shape[1] != self.n_var:
+            raise ValueError(
+                f"warm-start rows must be (k, {self.n_var}), got {warm.shape}"
+            )
+        known = warm >= 0
+        cols = np.broadcast_to(np.arange(self.n_var), warm.shape)
+        if known.any():
+            if warm[known].max() >= self.data.num_qpus:
+                raise ValueError("warm-start gene out of QPU range")
+            if not self.data.feasible[cols[known], warm[known]].all():
+                raise ValueError("warm-start genes must be feasible or -1")
+        warm = warm[known.any(axis=1)]
+        return warm if len(warm) else None
 
     # ------------------------------------------------------------------
     def evaluate(self, X: np.ndarray) -> np.ndarray:
-        data = self.data
-        pop, n = X.shape
-        q = data.num_qpus
-        rows = np.arange(n)
-        F = np.empty((pop, 2))
-        exec_sel = data.exec_seconds[rows[None, :], X]  # (pop, N)
-        fid_sel = data.fidelity[rows[None, :], X]
-        wait_sel = data.waiting_seconds[X]
-        for p in range(pop):
-            # Total batch execution time landing on each QPU.
-            totals = np.bincount(X[p], weights=exec_sel[p], minlength=q)
-            jct = wait_sel[p] + totals[X[p]]
-            F[p, 0] = jct.mean()
-            F[p, 1] = 1.0 - fid_sel[p].mean()
-        return F
+        return evaluate_population(self.data, X, backend=self._backend)
 
     def repair(self, X: np.ndarray) -> np.ndarray:
-        X = np.clip(X, self.lower, self.upper)
-        bad = ~self.data.feasible[
-            np.arange(self.n_var)[None, :], X
-        ]  # (pop, N) True where infeasible
-        if bad.any():
-            for p, i in zip(*np.nonzero(bad)):
-                options = self._feasible_lists[i]
-                X[p, i] = options[int(self._rng.integers(len(options)))]
-        return X
+        return repair_population(
+            self.data, X, self._rng, packed=self._packed, backend=self._backend
+        )
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Random init seeded with the two objective extremes.
@@ -112,6 +270,10 @@ class SchedulingProblem(Problem):
         minimum JCT (the completion-time extreme). Seeding both stretches
         the initial front across the whole tradeoff, which plain random
         integer initialization cannot reach for batch sizes of ~100 genes.
+
+        With warm-start rows, slots after the extremes are overwritten by
+        the previous cycle's Pareto assignments (missing genes fall back
+        to the extremes / the random draw already in the slot).
         """
         X = rng.integers(0, self.data.num_qpus, size=(n, self.n_var))
         X = self.repair(X)
@@ -120,17 +282,34 @@ class SchedulingProblem(Problem):
         X[0] = np.argmax(masked_fid, axis=1)
         if n > 1:
             # Greedy min-JCT: place each job where queue + load so far is
-            # smallest, updating the projected load as we go.
+            # smallest, updating the projected load as we go.  The
+            # feasibility masking is hoisted out of the loop: adding the
+            # running load to a pre-masked (inf at infeasible) cost row
+            # keeps infeasible entries at inf, so each argmin matches the
+            # per-iteration np.where of the original loop bit for bit.
+            cost_base = np.where(data.feasible, data.exec_seconds, np.inf)
             load = data.waiting_seconds.copy()
             greedy = np.zeros(self.n_var, dtype=np.int64)
             for i in range(self.n_var):
-                cost = np.where(
-                    data.feasible[i], load + data.exec_seconds[i], np.inf
-                )
-                q = int(np.argmin(cost))
+                q = int(np.argmin(load + cost_base[i]))
                 greedy[i] = q
                 load[q] += data.exec_seconds[i, q]
             X[1] = greedy
+        if self._warm is not None and n > 2:
+            k = min(len(self._warm), n - 2)
+            W = self._warm[:k]
+            missing = W < 0
+            # Fill missing genes from the fidelity extreme, the JCT
+            # extreme, and the feasible random draw already in the slot,
+            # cycling per warm row — deterministic, no extra RNG draws,
+            # and every fill is feasible so no repair pass is needed.
+            mode = np.arange(k) % 3
+            base = np.where(
+                (mode == 0)[:, None],
+                X[0][None, :],
+                np.where((mode == 1)[:, None], X[1][None, :], X[2 : 2 + k]),
+            )
+            X[2 : 2 + k] = np.where(missing, base, W)
         return X
 
     # ------------------------------------------------------------------
@@ -148,13 +327,14 @@ def assignment_stats(data: SchedulingInput, x: np.ndarray) -> dict:
     """
     rows = np.arange(data.num_jobs)
     exec_sel = data.exec_seconds[rows, x]
+    fid_sel = data.fidelity[rows, x]
     totals = np.bincount(x, weights=exec_sel, minlength=data.num_qpus)
     jct = data.waiting_seconds[x] + totals[x]
     return {
         "mean_jct": float(jct.mean()),
         "p95_jct": float(np.percentile(jct, 95)),
-        "mean_fidelity": float(data.fidelity[rows, x].mean()),
-        "p95_fidelity": float(np.percentile(data.fidelity[rows, x], 95)),
+        "mean_fidelity": float(fid_sel.mean()),
+        "p95_fidelity": float(np.percentile(fid_sel, 95)),
         "mean_exec_seconds": float(exec_sel.mean()),
         "per_qpu_load": totals.tolist(),
     }

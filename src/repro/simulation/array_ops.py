@@ -89,6 +89,15 @@ class ArrayBackend:
     def where(self, condition, x, y):
         return self.xp.where(condition, x, y)
 
+    def gather(self, a, rows, cols):
+        """Pairwise gather ``a[rows, cols]`` (advanced integer indexing).
+
+        The MOO evaluate kernel's shape: ``rows`` broadcast against a
+        ``(pop, n)`` assignment matrix selects one matrix entry per
+        (individual, gene) pair in a single indexing pass.
+        """
+        return a[rows, cols]
+
     # -- segment reductions (per-circuit folds over flat op arrays) ----
     def segment_sum(self, values, segment_ids, num_segments: int):
         """Sum ``values`` grouped by ``segment_ids`` into ``num_segments``
@@ -111,6 +120,18 @@ class ArrayBackend:
 
     def integers(self, rng: np.random.Generator, high, size):
         return rng.integers(high, size=size)
+
+    def bounded_integers(self, rng: np.random.Generator, highs):
+        """One draw in ``[0, highs[k])`` per element of ``highs``.
+
+        Stream contract: consumes the generator's bit stream exactly like
+        ``[rng.integers(h) for h in highs]`` — NumPy's per-element Lemire
+        rejection with array bounds is the scalar algorithm applied in
+        element order — so batched repair projections stay bit-identical
+        to a scalar per-violation loop over the same stream (locked in
+        ``tests/test_ml_moo.py``).
+        """
+        return rng.integers(highs)
 
     def multinomial(self, rng: np.random.Generator, n: int, pvals):
         return rng.multinomial(n, pvals)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.ml import (
     KFold,
@@ -20,12 +21,37 @@ from repro.moo import (
     NSGA2,
     Problem,
     Termination,
+    crowding_by_rank,
     crowding_distance,
     fast_non_dominated_sort,
+    front_ranks,
     pareto_front_mask,
     pseudo_weights,
     select_by_preference,
 )
+from repro.scheduler.formulation import (
+    SchedulingInput,
+    SchedulingProblem,
+    evaluate_population,
+    evaluate_reference,
+    pack_feasible,
+    repair_population,
+    repair_reference,
+)
+
+_settings = settings(max_examples=40, deadline=None, derandomize=True)
+
+
+def _random_input(rng, n, q, density=0.7):
+    """A random feasible scheduling instance (every job fits somewhere)."""
+    feas = rng.random((n, q)) < density
+    feas[~feas.any(axis=1), 0] = True
+    return SchedulingInput(
+        fidelity=rng.random((n, q)) * 0.4 + 0.6,
+        exec_seconds=rng.random((n, q)) * 100 + 1,
+        waiting_seconds=rng.random(q) * 50,
+        feasible=feas,
+    )
 
 
 class TestLinearModels:
@@ -284,3 +310,183 @@ class TestMCDM:
         F = np.array([[1.0, 5.0], [2.0, 5.0]])
         idx = select_by_preference(F, "balanced")
         assert idx in (0, 1)
+
+
+class TestVectorizedSorting:
+    """front_ranks / crowding_by_rank vs the per-front reference loops."""
+
+    def test_front_ranks_match_peeled_fronts(self):
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 60))
+            F = rng.random((n, 2))
+            if seed % 3 == 0 and n > 3:  # duplicates exercise ties
+                F[: n // 2] = F[n - n // 2 :][::-1]
+            rank = front_ranks(F)
+            for r, front in enumerate(fast_non_dominated_sort(F)):
+                assert np.all(rank[front] == r)
+            assert rank.min() == 0
+
+    def test_crowding_by_rank_matches_per_front(self):
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 60))
+            m = 2 if seed % 2 else 3
+            F = rng.random((n, m))
+            rank = front_ranks(F)
+            crowd = crowding_by_rank(F, rank)
+            for front in fast_non_dominated_sort(F):
+                assert np.array_equal(
+                    crowd[front], crowding_distance(F[front])
+                )
+
+
+class TestPopulationKernels:
+    """The flat evaluate/repair kernels are bit-identical to the scalar
+    per-individual reference loops — values AND consumed RNG stream."""
+
+    def test_pack_feasible_matches_where(self):
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            data = _random_input(
+                rng, int(rng.integers(1, 40)), int(rng.integers(2, 12))
+            )
+            flat, offsets, counts = pack_feasible(data.feasible)
+            assert flat.shape == (int(data.feasible.sum()),)
+            for i in range(data.num_jobs):
+                assert np.array_equal(
+                    flat[offsets[i] : offsets[i] + counts[i]],
+                    np.where(data.feasible[i])[0],
+                )
+
+    def test_evaluate_matches_reference_randomized(self):
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 120))
+            q = int(rng.integers(2, 24))
+            pop = int(rng.integers(1, 96))
+            data = _random_input(rng, n, q)
+            X = rng.integers(0, q, size=(pop, n))
+            assert np.array_equal(
+                evaluate_population(data, X), evaluate_reference(data, X)
+            )
+
+    def test_repair_matches_reference_and_stream(self):
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 80))
+            q = int(rng.integers(2, 16))
+            pop = int(rng.integers(1, 48))
+            data = _random_input(rng, n, q, density=0.5)
+            X = rng.integers(0, q, size=(pop, n))
+            r_kernel = np.random.default_rng(seed + 1)
+            r_ref = np.random.default_rng(seed + 1)
+            out_kernel = repair_population(data, X.copy(), r_kernel)
+            out_ref = repair_reference(data, X.copy(), r_ref)
+            assert np.array_equal(out_kernel, out_ref)
+            assert data.feasible[
+                np.arange(n)[None, :], out_kernel
+            ].all()
+            # Identical bit-stream position afterwards: batched draws
+            # consumed exactly what the scalar loop would have.
+            assert (
+                r_kernel.bit_generator.state == r_ref.bit_generator.state
+            )
+
+    @_settings
+    @given(
+        pop=st.integers(1, 24),
+        n=st.integers(1, 32),
+        q=st.integers(2, 9),
+        density=st.floats(0.15, 1.0),
+        seed=st.integers(0, 2**31),
+    )
+    def test_kernels_equal_references_property(
+        self, pop, n, q, density, seed
+    ):
+        """Property form: any (pop, width, feasibility-mask) instance —
+        flat kernels == scalar references, bit for bit."""
+        rng = np.random.default_rng(seed)
+        data = _random_input(rng, n, q, density=density)
+        X = rng.integers(0, q, size=(pop, n))
+        assert np.array_equal(
+            evaluate_population(data, X), evaluate_reference(data, X)
+        )
+        r1 = np.random.default_rng(seed ^ 0x5EED)
+        r2 = np.random.default_rng(seed ^ 0x5EED)
+        assert np.array_equal(
+            repair_population(data, X.copy(), r1),
+            repair_reference(data, X.copy(), r2),
+        )
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+
+class TestWarmStartProblem:
+    """Warm-row validation and fill semantics in SchedulingProblem."""
+
+    def _data(self, n=8, q=4, seed=0, density=1.0):
+        return _random_input(np.random.default_rng(seed), n, q, density)
+
+    def test_warm_rows_seed_population(self):
+        data = self._data()
+        warm = np.full((3, data.num_jobs), 2, dtype=np.int64)
+        prob = SchedulingProblem(data, seed=1, warm=warm)
+        X = prob.sample(10, np.random.default_rng(5))
+        assert np.array_equal(X[2:5], warm)
+
+    def test_missing_genes_fill_cycles_extremes_and_random(self):
+        data = self._data()
+        cold = SchedulingProblem(data, seed=1)
+        Xc = cold.sample(10, np.random.default_rng(5))
+        warm = np.full((3, data.num_jobs), -1, dtype=np.int64)
+        warm[:, 0] = 1  # one carried gene per row, rest missing
+        prob = SchedulingProblem(data, seed=1, warm=warm)
+        X = prob.sample(10, np.random.default_rng(5))
+        # Row modes cycle: fidelity extreme, JCT extreme, random slot.
+        for k, base in enumerate((Xc[0], Xc[1], Xc[2 + 2])):
+            assert X[2 + k, 0] == 1
+            assert np.array_equal(X[2 + k, 1:], base[1:])
+
+    def test_warm_never_consumes_rng(self):
+        data = self._data()
+        warm = np.zeros((2, data.num_jobs), dtype=np.int64)
+        cold_rng = np.random.default_rng(5)
+        warm_rng = np.random.default_rng(5)
+        Xc = SchedulingProblem(data, seed=1).sample(8, cold_rng)
+        Xw = SchedulingProblem(data, seed=1, warm=warm).sample(8, warm_rng)
+        # Extremes and rows past the warm block are untouched...
+        assert np.array_equal(Xc[:2], Xw[:2])
+        assert np.array_equal(Xc[4:], Xw[4:])
+        # ...and the stream position is identical afterwards.
+        assert (
+            cold_rng.bit_generator.state == warm_rng.bit_generator.state
+        )
+
+    def test_warm_validation(self):
+        data = self._data(density=0.6)
+        with pytest.raises(ValueError, match="warm-start rows"):
+            SchedulingProblem(data, warm=np.zeros((2, 3), dtype=np.int64))
+        out_of_range = np.full((1, data.num_jobs), data.num_qpus)
+        with pytest.raises(ValueError, match="out of QPU range"):
+            SchedulingProblem(data, warm=out_of_range)
+        infeasible = np.zeros((1, data.num_jobs), dtype=np.int64)
+        bad_job = int(np.flatnonzero(~data.feasible[:, 0])[0])
+        infeasible[0, bad_job] = 0
+        with pytest.raises(ValueError, match="feasible or -1"):
+            SchedulingProblem(data, warm=infeasible)
+
+    def test_all_missing_rows_dropped(self):
+        data = self._data()
+        warm = np.full((3, data.num_jobs), -1, dtype=np.int64)
+        warm[1, 0] = 2  # only row 1 carries anything
+        prob = SchedulingProblem(data, seed=1, warm=warm)
+        assert prob._warm is not None and len(prob._warm) == 1
+        empty = np.full((2, data.num_jobs), -1, dtype=np.int64)
+        assert SchedulingProblem(data, seed=1, warm=empty)._warm is None
+
+    def test_warm_capped_by_population(self):
+        data = self._data()
+        warm = np.full((20, data.num_jobs), 1, dtype=np.int64)
+        prob = SchedulingProblem(data, seed=1, warm=warm)
+        X = prob.sample(6, np.random.default_rng(5))
+        assert np.array_equal(X[2:], warm[:4])
